@@ -1,0 +1,80 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (the substrate is single-threaded Python; all of the paper's claims
+are *relative*, so shapes survive scaling). The formatted result tables are
+collected and written to ``benchmarks/results.txt`` at the end of the
+session, so ``pytest benchmarks/ --benchmark-only`` leaves a full
+paper-vs-measured artefact behind.
+
+Scale knobs can be overridden from the command line::
+
+    pytest benchmarks/ --benchmark-only --repro-scale 0.1 --repro-trees 20
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+_RESULTS: list[tuple[str, str]] = []
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("hedgecut-repro")
+    group.addoption(
+        "--repro-scale",
+        type=float,
+        default=0.02,
+        help="fraction of the paper's dataset sizes used by the benchmarks",
+    )
+    group.addoption(
+        "--repro-trees",
+        type=int,
+        default=8,
+        help="ensemble size used by the benchmarks",
+    )
+    group.addoption(
+        "--repro-repeats",
+        type=int,
+        default=2,
+        help="repeated runs per measurement",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_config(request) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=request.config.getoption("--repro-scale"),
+        n_trees=request.config.getoption("--repro-trees"),
+        repeats=request.config.getoption("--repro-repeats"),
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Collect a formatted experiment table for the results artefact."""
+
+    def _record(name: str, table: str) -> None:
+        _RESULTS.append((name, table))
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    output = Path(__file__).parent / "results.txt"
+    parts = []
+    for name, table in _RESULTS:
+        parts.append(f"==== {name} ====")
+        parts.append(table)
+        parts.append("")
+    output.write_text("\n".join(parts))
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(f"HedgeCut reproduction tables written to {output}")

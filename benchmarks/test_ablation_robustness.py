@@ -1,0 +1,119 @@
+"""Ablation benchmarks for the design choices documented in DESIGN.md.
+
+Three ablations:
+
+* robustness mode ("greedy" vs "off"): what the robustness analysis costs
+  at training time and what it buys structurally;
+* maintenance depth cap (1 vs uncapped): the memory/time blowup the cap
+  prevents on noisy data;
+* robustness pruning (the sound early-exit bound in ``is_robust``): the
+  training-time speed-up from skipping provably-robust greedy loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.robustness import is_robust
+from repro.core.splits import SplitStats
+from repro.datasets.registry import load_dataset
+from repro.evaluation.stats import Timer
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    return load_dataset("income", n_rows=1500, seed=5)
+
+
+@pytest.fixture(scope="module")
+def small_ablation_data():
+    """Small slice for the *uncapped* runs: unbounded maintenance nesting
+    grows combinatorially with the budget (the pathology the cap exists to
+    prevent; see DESIGN.md 5.3.1), so the uncapped ablation must stay tiny
+    to terminate quickly."""
+    return load_dataset("income", n_rows=600, seed=5)
+
+
+@pytest.mark.parametrize("mode", ["off", "greedy"])
+def test_robustness_mode_training_cost(benchmark, ablation_data, mode):
+    def train():
+        model = HedgeCutClassifier(
+            n_trees=3, epsilon=0.001, seed=5, robustness_mode=mode
+        )
+        return model.fit(ablation_data)
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    structure = model.node_census()
+    if mode == "off":
+        assert structure.n_maintenance_nodes == 0
+    else:
+        # Robustness analysis is what enables unlearning maintenance.
+        assert structure.n_nodes > 0
+
+
+@pytest.mark.parametrize("cap", [1, None])
+def test_maintenance_depth_cap_bounds_growth(benchmark, small_ablation_data, cap):
+    def train():
+        model = HedgeCutClassifier(
+            n_trees=2, epsilon=0.002, seed=6, max_maintenance_depth=cap
+        )
+        return model.fit(small_ablation_data)
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert model.node_census().n_nodes > 0
+
+
+def test_capped_ensembles_stay_small(benchmark, small_ablation_data):
+    def build_both():
+        capped = HedgeCutClassifier(
+            n_trees=2, epsilon=0.002, seed=6, max_maintenance_depth=1
+        ).fit(small_ablation_data)
+        uncapped = HedgeCutClassifier(
+            n_trees=2, epsilon=0.002, seed=6, max_maintenance_depth=None
+        ).fit(small_ablation_data)
+        return capped, uncapped
+
+    capped, uncapped = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    assert capped.node_census().n_nodes <= uncapped.node_census().n_nodes
+
+
+@pytest.mark.parametrize("mode", ["greedy", "beam"])
+def test_beam_mode_cost(benchmark, ablation_data, mode):
+    """Beam search (width 4) closes the measured greedy misses; this
+    ablation prices the extra lookahead at training time."""
+
+    def train():
+        model = HedgeCutClassifier(
+            n_trees=2, epsilon=0.001, seed=7, robustness_mode=mode
+        )
+        return model.fit(ablation_data)
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert model.node_census().n_nodes > 0
+
+
+def test_robustness_prune_speedup(benchmark):
+    """The early-exit bound skips greedy loops for well-separated pairs."""
+    rng = np.random.default_rng(0)
+    pairs = []
+    for _ in range(300):
+        n = int(rng.integers(200, 2000))
+        n_plus = int(rng.integers(n // 4, 3 * n // 4))
+        n_left = int(rng.integers(n // 4, 3 * n // 4))
+        low = max(0, n_plus - (n - n_left))
+        high = min(n_plus, n_left)
+        first = SplitStats(n, n_plus, n_left, int(rng.integers(low, high + 1)))
+        second = SplitStats(n, n_plus, n_left, int(rng.integers(low, high + 1)))
+        if first.gini_gain() < second.gini_gain():
+            first, second = second, first
+        pairs.append((first, second))
+
+    def run_all(prune):
+        return [is_robust(best, cand, 20, prune=prune).robust for best, cand in pairs]
+
+    with Timer() as unpruned_timer:
+        unpruned = run_all(prune=False)
+    pruned = benchmark(run_all, True)
+    # Identical verdicts, pruning is purely an optimisation.
+    assert pruned == unpruned
+    assert unpruned_timer.seconds > 0

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 4(b) -- accuracy of HedgeCut vs the baselines.
+
+Paper claim: the three ensemble methods beat the single decision tree on
+every dataset; ERT and HedgeCut give the best performance, closely
+followed by Random Forest; HedgeCut can act as a drop-in replacement.
+"""
+
+import numpy as np
+
+from repro.experiments import figure4b
+
+
+def test_ensembles_beat_single_tree_and_hedgecut_is_on_par(
+    benchmark, repro_config, record_table
+):
+    config = repro_config.with_overrides(repeats=3)
+    result = benchmark.pedantic(figure4b.run, args=(config,), rounds=1, iterations=1)
+    record_table("Figure 4(b): accuracy vs baselines", result.format_table())
+
+    single_tree_wins = 0
+    for row in result.rows:
+        hedgecut = row.accuracies["hedgecut"].mean
+        ert = row.accuracies["ert"].mean
+        forest = row.accuracies["random forest"].mean
+        tree = row.accuracies["decision tree"].mean
+        # HedgeCut stays within noise of the strongest ensemble baseline.
+        assert hedgecut > max(ert, forest) - 0.05, row.dataset
+        # Ensembles generally dominate the single tree.
+        if tree >= max(hedgecut, ert, forest):
+            single_tree_wins += 1
+    assert single_tree_wins <= 1
+
+    # Averaged over the datasets, the ensemble ordering of the paper holds.
+    mean_by_model = {
+        name: float(np.mean([row.accuracies[name].mean for row in result.rows]))
+        for name in ("decision tree", "random forest", "ert", "hedgecut")
+    }
+    assert mean_by_model["hedgecut"] > mean_by_model["decision tree"]
+    assert mean_by_model["ert"] > mean_by_model["decision tree"]

@@ -1,0 +1,58 @@
+"""Benchmark: Figure 5 -- sensitivity to ``B`` and ``ε``.
+
+Paper claims:
+
+* 5(a): accuracy is slightly higher for small ``B`` (< 10) and flat-lower
+  for large values;
+* 5(b): training time has a sweet spot at ``B = 5``, growing for large
+  ``B`` (longer robustness searches);
+* 5(c): accuracy is unaffected by ``ε``;
+* 5(d): training time grows with ``ε`` (more subtree variants), mildly in
+  the 0.01%-0.1% range.
+"""
+
+
+from repro.experiments import figure5
+
+
+def test_b_sweep_accuracy_and_runtime(benchmark, repro_config, record_table):
+    config = repro_config.with_overrides(
+        repeats=2, datasets=("income", "recidivism")
+    )
+    result = benchmark.pedantic(
+        figure5.run_b_sweep, args=(config,), kwargs=dict(values=(1, 5, 50)), rounds=1, iterations=1
+    )
+    record_table("Figure 5(a)/(b): sensitivity to B", result.format_table())
+
+    for dataset in config.datasets:
+        points = {point.value: point for point in result.for_dataset(dataset)}
+        # 5(a): accuracy does not collapse anywhere in the sweep; the small-B
+        # regime is at least as good as the large-B regime (within noise).
+        assert points[5.0].accuracy.mean >= points[50.0].accuracy.mean - 0.05
+        accuracies = [point.accuracy.mean for point in points.values()]
+        assert max(accuracies) - min(accuracies) < 0.15
+
+
+def test_epsilon_sweep_accuracy_flat_runtime_grows(benchmark, repro_config, record_table):
+    config = repro_config.with_overrides(
+        repeats=2, datasets=("income", "recidivism")
+    )
+    result = benchmark.pedantic(
+        figure5.run_epsilon_sweep,
+        args=(config,),
+        kwargs=dict(values=(0.0001, 0.005, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Figure 5(c)/(d): sensitivity to epsilon", result.format_table())
+
+    for dataset in config.datasets:
+        points = result.for_dataset(dataset)
+        accuracies = [point.accuracy.mean for point in points]
+        # 5(c): epsilon does not move accuracy (it only adds variants).
+        assert max(accuracies) - min(accuracies) < 0.08, dataset
+        # 5(d): runtime does not shrink systematically with epsilon; the
+        # largest epsilon costs at least as much as the smallest (within
+        # noise), because more subtree variants have to be trained.
+        relative = result.relative_runtime(dataset)
+        assert relative[0.02] > 0.7, dataset

@@ -1,0 +1,91 @@
+"""Benchmark: Figure 6 -- tree structure and split switches.
+
+Paper claims:
+
+* 6(a): the fraction of non-robust (maintenance) nodes is dataset
+  dependent and low (below 2% in the majority of cases at ε = 0.1%), with
+  the total node count growing with ε (below 2x for ε <= 0.1%);
+* 6(b): during a full 0.1% unlearning campaign, the mean number of split
+  switches per tree is below one and decreases with larger leaf sizes.
+"""
+
+from repro.experiments import figure6
+
+
+def test_non_robust_fraction_low_and_nodes_grow(benchmark, repro_config, record_table):
+    config = repro_config.with_overrides(repeats=2, datasets=("income", "purchase"))
+    result = benchmark.pedantic(
+        figure6.run_non_robust_fraction,
+        args=(config,),
+        kwargs=dict(epsilons=(0.001, 0.01, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Figure 6(a): non-robust node fraction", result.format_table())
+
+    for point in result.points:
+        if point.epsilon <= 0.001:
+            # The paper's epsilon sweet spot: few maintenance nodes.
+            assert point.non_robust_fraction.mean < 0.05, point.dataset
+        assert point.non_robust_fraction.mean < 0.25, point.dataset
+    for dataset in config.datasets:
+        growth = result.node_growth(dataset)
+        # Node growth stays bounded at the paper's epsilon range.
+        assert growth[0.001] <= 1.5
+
+
+def test_split_switches_rare_and_decreasing(benchmark, repro_config, record_table):
+    config = repro_config.with_overrides(
+        scale=0.05, repeats=2, datasets=("income", "recidivism")
+    )
+    result = benchmark.pedantic(
+        figure6.run_split_switches,
+        args=(config,),
+        kwargs=dict(leaf_sizes=(2, 16, 128)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Figure 6(b): split switches per tree", result.format_table())
+
+    for dataset in config.datasets:
+        points = {
+            point.min_leaf_size: point.switches_per_tree.mean
+            for point in result.points
+            if point.dataset == dataset
+        }
+        # Fewer than ~one switch per tree on average (paper claim), and the
+        # largest leaf size never switches more than the smallest.
+        assert points[2] < 2.0, dataset
+        assert points[128] <= points[2] + 0.2, dataset
+
+
+def test_split_switches_occur_under_boosted_deletion_rate(
+    benchmark, repro_config, record_table
+):
+    """Sanity companion to Figure 6(b): the switching machinery fires.
+
+    A faithful 0.1% campaign at reduced scale removes only a couple of
+    records, so observed switch rates round to zero -- consistent with the
+    paper's "<1 per tree" but uninformative. Boosting the deletion rate to
+    1% (with budget overrun, as a stress test) surfaces actual variant
+    switches and still shows the decreasing-in-leaf-size trend.
+    """
+    config = repro_config.with_overrides(
+        scale=0.05, repeats=2, datasets=("income",), epsilon=0.01
+    )
+    result = benchmark.pedantic(
+        figure6.run_split_switches,
+        args=(config,),
+        kwargs=dict(leaf_sizes=(2, 64), unlearn_fraction=0.01),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "Figure 6(b) companion: switches at a boosted 1% deletion rate",
+        result.format_table(),
+    )
+    points = {
+        point.min_leaf_size: point.switches_per_tree.mean for point in result.points
+    }
+    assert points[2] > 0.0, "no variant switch observed even under stress"
+    assert points[64] <= points[2]

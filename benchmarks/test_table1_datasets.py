@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 1 (dataset statistics).
+
+Paper claim: five privacy-sensitive datasets with the listed row counts
+and feature mixes (income 32,560 x 4+8; heart 70,000 x 5+6; credit
+150,000 x 8; recidivism 7,214 x 4+6; purchase 12,330 x 10+7).
+"""
+
+from repro.datasets.registry import dataset_info
+from repro.experiments import table1
+
+
+def test_table1_dataset_statistics(benchmark, record_table):
+    result = benchmark.pedantic(table1.dataset_statistics, rounds=1, iterations=1)
+    record_table("Table 1: dataset statistics", result.format_table())
+
+    by_name = {row.name: row for row in result.rows}
+    assert by_name["income"].n_users == 32_560
+    assert (by_name["income"].n_numeric, by_name["income"].n_categorical) == (4, 8)
+    assert by_name["heart"].n_users == 70_000
+    assert by_name["credit"].n_users == 150_000
+    assert by_name["credit"].n_categorical == 0
+    assert by_name["recidivism"].n_users == 7_214
+    assert by_name["purchase"].n_users == 12_330
+
+
+def test_dataset_generation_speed(benchmark):
+    """Time the generation+encoding of one scaled dataset sample."""
+    from repro.datasets.registry import load_dataset
+
+    dataset = benchmark(load_dataset, "income", 2000, 0)
+    assert dataset.n_rows == 2000
+    assert dataset.n_features == dataset_info("income").n_numeric + dataset_info(
+        "income"
+    ).n_categorical

@@ -1,0 +1,27 @@
+"""Benchmark: Table 2 -- prediction throughput with mixed-in unlearning.
+
+Paper claim: HedgeCut answers 13k-37k predictions per second, and mixing
+unlearning requests for 0.1% of the training records into the workload
+does not decrease throughput (two-sample KS test finds no distributional
+difference).
+"""
+
+from repro.experiments import table2
+
+
+def test_throughput_unaffected_by_unlearning(benchmark, repro_config, record_table):
+    config = repro_config.with_overrides(repeats=4)
+    result = benchmark.pedantic(
+        table2.run, args=(config,), kwargs=dict(n_requests=800), rounds=1, iterations=1
+    )
+    record_table("Table 2: prediction throughput", result.format_table())
+
+    for row in result.rows:
+        assert row.predictions_per_second.mean > 100, row.dataset
+        # Mixed-in unlearning keeps throughput within noise of the pure
+        # prediction workload (the paper's central Table 2 claim).
+        ratio = (
+            row.predictions_per_second_with_unlearning.mean
+            / row.predictions_per_second.mean
+        )
+        assert 0.5 < ratio < 2.0, row.dataset

@@ -1,0 +1,59 @@
+"""K-class unlearning with MulticlassHedgeCut (the Section 3 general case).
+
+The paper develops HedgeCut for binary classification; its Gini-gain
+formulation, however, is stated for general K. This example runs the
+K-class pipeline end to end on a three-class risk-tier task derived from
+the credit dataset's features: train, unlearn the full deletion budget,
+and verify that predictions still work and the budget accounting holds.
+
+    python examples/multiclass_unlearning.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.core.multiclass_model import MulticlassDataset, MulticlassHedgeCut
+
+
+def main() -> None:
+    base = load_dataset("credit", n_rows=2000, seed=29)
+    rng = np.random.default_rng(29)
+
+    # A three-tier target: low / medium / high risk from two attributes,
+    # with 10% label noise.
+    utilisation = base.column(0).astype(np.int64)
+    past_due = base.column(2).astype(np.int64)
+    labels = np.where(past_due > 0, 2, np.where(utilisation >= 10, 1, 0))
+    noise = rng.random(base.n_rows) < 0.1
+    labels[noise] = rng.integers(0, 3, size=int(noise.sum()))
+
+    data = MulticlassDataset(
+        schema=base.schema,
+        columns=tuple(base.column(index) for index in range(base.n_features)),
+        labels=labels,
+        n_classes=3,
+    )
+
+    model = MulticlassHedgeCut(n_trees=10, epsilon=0.005, seed=29)
+    model.fit(data)
+    predictions = model.predict_batch(data)
+    accuracy = float(np.mean(predictions == data.labels))
+    majority = float(np.bincount(data.labels).max()) / data.n_rows
+    print(f"3-class accuracy: {accuracy:.3f} (majority baseline {majority:.3f})")
+
+    budget = model.deletion_budget
+    switches = 0
+    for row in range(budget):
+        switches += model.unlearn(data.record(row))
+    print(
+        f"unlearned {budget} records in place "
+        f"({switches} variant switches across {len(model._roots)} trees)"
+    )
+    print(f"remaining budget: {model.remaining_deletion_budget}")
+
+    after = model.predict_batch(data)
+    print(f"accuracy after unlearning: {float(np.mean(after == data.labels)):.3f}")
+
+
+if __name__ == "__main__":
+    main()

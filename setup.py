@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``. This file only
+exists so that ``pip install -e .`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package and no
+network to fetch one).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""From-scratch tree-based baselines (Section 6.1 of the paper).
+
+The paper compares HedgeCut against scikit-learn 0.22's Cython
+implementations of a CART decision tree, Random Forest and Extremely
+Randomised Trees. scikit-learn is not available in this offline
+environment, so this package provides faithful numpy re-implementations of
+the three algorithms with the paper's hyperparameter settings:
+
+* :class:`~repro.baselines.cart.DecisionTreeClassifier` -- a single tree
+  with exhaustive greedy Gini split search (CART).
+* :class:`~repro.baselines.forest.RandomForestClassifier` -- bootstrap
+  aggregation of greedy trees with per-node random feature subsets.
+* :class:`~repro.baselines.ert.ExtraTreesClassifier` -- the classic ERT of
+  Geurts et al. with per-node random cut points drawn from the *local*
+  ``[min, max]`` range (the formulation HedgeCut departs from, Section 4.3).
+
+None of them can unlearn: the Figure 3 experiment retrains them from
+scratch, which is precisely the cost HedgeCut avoids.
+
+All baselines consume the same encoded :class:`~repro.dataprep.dataset.Dataset`
+as HedgeCut. Categorical codes are treated ordinally, matching how
+scikit-learn models integer-encoded categoricals.
+"""
+
+from repro.baselines.cart import DecisionTreeClassifier
+from repro.baselines.ert import ExtraTreesClassifier
+from repro.baselines.forest import RandomForestClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "ExtraTreesClassifier",
+]

@@ -1,0 +1,123 @@
+"""Shared machinery of the baseline tree learners.
+
+The baselines operate on the integer code matrix of an encoded
+:class:`~repro.dataprep.dataset.Dataset`. Because every column holds a small
+number of distinct codes (twenty quantile buckets for numerics, the domain
+cardinality for categoricals), exhaustive split search per feature reduces
+to one ``bincount`` histogram plus prefix sums -- the numpy equivalent of
+scikit-learn's sorted-feature sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+
+@dataclass
+class BaselineLeaf:
+    """Terminal node predicting the majority label of its partition."""
+
+    n: int
+    n_plus: int
+
+    def predict(self) -> int:
+        return 1 if 2 * self.n_plus > self.n else 0
+
+
+@dataclass
+class BaselineSplit:
+    """Internal node: ``code <= threshold`` goes left (ordinal test)."""
+
+    feature: int
+    threshold: int
+    left: "BaselineNode"
+    right: "BaselineNode"
+
+
+BaselineNode = Union[BaselineLeaf, BaselineSplit]
+
+
+def gini_children(
+    n_left: np.ndarray, n_left_plus: np.ndarray, n: int, n_plus: int
+) -> np.ndarray:
+    """Weighted child Gini impurity for a vector of candidate thresholds.
+
+    Vectorised over all thresholds of one feature at once; lower is better.
+    Degenerate thresholds (empty side) are given infinite impurity so they
+    are never selected.
+    """
+    n_right = n - n_left
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_left = np.where(n_left > 0, n_left_plus / np.maximum(n_left, 1), 0.0)
+        p_right = np.where(
+            n_right > 0, (n_plus - n_left_plus) / np.maximum(n_right, 1), 0.0
+        )
+    impurity = (n_left / n) * 2.0 * p_left * (1.0 - p_left) + (
+        n_right / n
+    ) * 2.0 * p_right * (1.0 - p_right)
+    degenerate = (n_left == 0) | (n_right == 0)
+    return np.where(degenerate, np.inf, impurity)
+
+
+def best_threshold_for_feature(
+    codes: np.ndarray, labels: np.ndarray, n_values: int
+) -> tuple[int, float] | None:
+    """Exhaustive best ordinal threshold of one feature via histograms.
+
+    Returns ``(threshold, weighted_child_impurity)`` where records with
+    ``code <= threshold`` go left, or ``None`` when the feature is locally
+    constant.
+    """
+    n = codes.shape[0]
+    n_plus = int(labels.sum())
+    # Joint histogram over (code, label): even slots count negatives, odd
+    # slots positives.
+    joint = np.bincount(codes.astype(np.int64) * 2 + labels, minlength=2 * n_values)
+    per_code = joint[0::2] + joint[1::2]
+    per_code_plus = joint[1::2]
+    # Prefix sums: n_left(threshold t) counts codes <= t; the last threshold
+    # would send everything left, so it is excluded.
+    n_left = np.cumsum(per_code)[:-1]
+    n_left_plus = np.cumsum(per_code_plus)[:-1]
+    if n_left.size == 0:
+        return None
+    impurity = gini_children(n_left, n_left_plus, n, n_plus)
+    best = int(np.argmin(impurity))
+    if not np.isfinite(impurity[best]):
+        return None
+    return best, float(impurity[best])
+
+
+def majority_leaf(labels: np.ndarray) -> BaselineLeaf:
+    return BaselineLeaf(n=int(labels.shape[0]), n_plus=int(labels.sum()))
+
+
+def predict_matrix(root: BaselineNode, matrix: np.ndarray) -> np.ndarray:
+    """Batch prediction by recursive partitioning of the row set."""
+    n_rows = matrix.shape[0]
+    out = np.zeros(n_rows, dtype=np.uint8)
+    stack: list[tuple[BaselineNode, np.ndarray]] = [
+        (root, np.arange(n_rows, dtype=np.int64))
+    ]
+    while stack:
+        node, rows = stack.pop()
+        if rows.size == 0:
+            continue
+        if isinstance(node, BaselineLeaf):
+            out[rows] = node.predict()
+            continue
+        goes_left = matrix[rows, node.feature] <= node.threshold
+        stack.append((node.left, rows[goes_left]))
+        stack.append((node.right, rows[~goes_left]))
+    return out
+
+
+def predict_values(root: BaselineNode, values: np.ndarray) -> int:
+    """Single-record prediction."""
+    node = root
+    while isinstance(node, BaselineSplit):
+        node = node.left if values[node.feature] <= node.threshold else node.right
+    return node.predict()

@@ -1,0 +1,162 @@
+"""Flat-array tree compilation for fast prediction.
+
+The paper's future-work section (Section 8) proposes switching to a denser
+data structure than the node graph after training to reduce prediction
+latency. :class:`CompiledTree` implements that idea: it flattens a tree into
+parallel arrays (feature id, test payload, child offsets) so that a single
+prediction is a tight integer loop without attribute lookups or
+``isinstance`` dispatch.
+
+Leaf payloads are *not* copied into the arrays -- compiled leaves reference
+the live :class:`~repro.core.nodes.Leaf` objects, so the leaf-count updates
+performed by unlearning are visible to the compiled predictor immediately.
+Only a *variant switch* at a maintenance node changes the routing structure;
+the ensemble recompiles the affected tree lazily when that happens
+(Section 6.5 shows switches are rare: less than one per tree for a full
+``ε = 0.1%`` unlearning campaign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, TreeNode
+from repro.core.splits import CategoricalSplit, NumericSplit
+from repro.dataprep.dataset import Dataset
+from repro.vectorized.masks import bitmask_membership_vector
+
+#: Sentinel feature id marking a leaf slot in the compiled arrays.
+LEAF_MARKER = -1
+
+
+@dataclass
+class CompiledTree:
+    """Structure-of-arrays form of one tree, active variants resolved.
+
+    Slot layout: ``feature[i] == LEAF_MARKER`` marks a leaf whose payload is
+    ``leaves[test[i]]``; otherwise ``test[i]`` holds the numeric cut or the
+    categorical subset bitmask (``is_categorical[i]`` selects the test) and
+    ``left[i]`` / ``right[i]`` are the child slots.
+    """
+
+    feature: list[int]
+    test: list[int]
+    is_categorical: list[bool]
+    left: list[int]
+    right: list[int]
+    leaves: list[Leaf]
+
+    @classmethod
+    def from_tree(cls, root: TreeNode) -> "CompiledTree":
+        compiled = cls(feature=[], test=[], is_categorical=[], left=[], right=[], leaves=[])
+        compiled._emit(root)
+        return compiled
+
+    def _emit(self, node: TreeNode) -> int:
+        """Emit a node into the arrays, returning its slot index."""
+        if isinstance(node, MaintenanceNode):
+            active = node.active
+            return self._emit_split(
+                active.split.feature, active.split, active.left, active.right
+            )
+        if isinstance(node, SplitNode):
+            return self._emit_split(node.split.feature, node.split, node.left, node.right)
+        slot = self._reserve()
+        self.feature[slot] = LEAF_MARKER
+        self.test[slot] = len(self.leaves)
+        self.leaves.append(node)
+        return slot
+
+    def _emit_split(
+        self,
+        feature: int,
+        split: NumericSplit | CategoricalSplit,
+        left: TreeNode,
+        right: TreeNode,
+    ) -> int:
+        slot = self._reserve()
+        self.feature[slot] = feature
+        if isinstance(split, NumericSplit):
+            self.test[slot] = split.cut
+            self.is_categorical[slot] = False
+        else:
+            self.test[slot] = split.subset_mask
+            self.is_categorical[slot] = True
+        self.left[slot] = self._emit(left)
+        self.right[slot] = self._emit(right)
+        return slot
+
+    def _reserve(self) -> int:
+        slot = len(self.feature)
+        self.feature.append(0)
+        self.test.append(0)
+        self.is_categorical.append(False)
+        self.left.append(0)
+        self.right.append(0)
+        return slot
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+
+    def predict_value(self, values: tuple[int, ...]) -> int:
+        """Predict the label for one encoded record (tight integer loop)."""
+        feature = self.feature
+        test = self.test
+        slot = 0
+        while (feature_id := feature[slot]) != LEAF_MARKER:
+            value = values[feature_id]
+            if self.is_categorical[slot]:
+                goes_left = (test[slot] >> value) & 1
+            else:
+                goes_left = value < test[slot]
+            slot = self.left[slot] if goes_left else self.right[slot]
+        leaf = self.leaves[test[slot]]
+        return 1 if 2 * leaf.n_plus > leaf.n else 0
+
+    def predict_proba_value(self, values: tuple[int, ...]) -> float:
+        """Positive-class probability for one encoded record."""
+        feature = self.feature
+        test = self.test
+        slot = 0
+        while (feature_id := feature[slot]) != LEAF_MARKER:
+            value = values[feature_id]
+            if self.is_categorical[slot]:
+                goes_left = (test[slot] >> value) & 1
+            else:
+                goes_left = value < test[slot]
+            slot = self.left[slot] if goes_left else self.right[slot]
+        return self.leaves[test[slot]].predict_proba()
+
+    def predict_batch(self, dataset: Dataset) -> np.ndarray:
+        """Vectorised batch prediction over a whole dataset.
+
+        Recursively partitions the row set along the compiled structure,
+        evaluating each split once per reachable slot instead of once per
+        record -- the batch analogue of the paper's scan-style processing.
+        """
+        n_rows = dataset.n_rows
+        votes = np.zeros(n_rows, dtype=np.uint8)
+        rows = np.arange(n_rows, dtype=np.int64)
+        stack: list[tuple[int, np.ndarray]] = [(0, rows)]
+        while stack:
+            slot, subset = stack.pop()
+            if subset.size == 0:
+                continue
+            feature_id = self.feature[slot]
+            if feature_id == LEAF_MARKER:
+                leaf = self.leaves[self.test[slot]]
+                votes[subset] = 1 if 2 * leaf.n_plus > leaf.n else 0
+                continue
+            codes = dataset.column(feature_id)[subset]
+            if self.is_categorical[slot]:
+                cardinality = dataset.schema[feature_id].n_values
+                table = bitmask_membership_vector(self.test[slot], cardinality)
+                goes_left = table[codes.astype(np.int64)]
+            else:
+                goes_left = codes < self.test[slot]
+            stack.append((self.left[slot], subset[goes_left]))
+            stack.append((self.right[slot], subset[~goes_left]))
+        return votes

@@ -1,0 +1,410 @@
+"""The public HedgeCut classifier (Sections 4.3-4.5 of the paper).
+
+``HedgeCutClassifier`` learns an ensemble of randomised trees with
+robustness-checked splits, answers prediction requests from a compiled
+flat-array representation, and serves *unlearning requests* in place: a
+GDPR deletion request updates the deployed model directly instead of going
+through a heavyweight retrain-and-redeploy pipeline (Figure 1).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.compiled import CompiledTree
+from repro.core.exceptions import (
+    DeletionBudgetExhausted,
+    NotFittedError,
+    UnlearningError,
+)
+from repro.core.nodes import Leaf, MaintenanceNode, NodeCensus, SplitNode, census
+from repro.core.params import HedgeCutParams
+from repro.core.tree import HedgeCutTree, TreeBuilder
+from repro.core.unlearning import UnlearningReport, unlearn_from_tree
+from repro.dataprep.dataset import Dataset, FeatureSchema, Record
+
+
+@dataclass(frozen=True)
+class EnsembleCensus:
+    """Aggregated structural statistics of a trained ensemble."""
+
+    per_tree: tuple[NodeCensus, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(tree.n_nodes for tree in self.per_tree)
+
+    @property
+    def n_maintenance_nodes(self) -> int:
+        return sum(tree.n_maintenance_nodes for tree in self.per_tree)
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(tree.n_leaves for tree in self.per_tree)
+
+    @property
+    def n_robust_splits(self) -> int:
+        return sum(tree.n_robust_splits for tree in self.per_tree)
+
+    @property
+    def non_robust_fraction(self) -> float:
+        """Ensemble-wide fraction of non-robust nodes (Figure 6(a))."""
+        if self.n_nodes == 0:
+            return 0.0
+        return self.n_maintenance_nodes / self.n_nodes
+
+
+def _as_values(record: Record | Sequence[int] | np.ndarray) -> tuple[int, ...]:
+    """Normalise the accepted record representations to a value tuple."""
+    if isinstance(record, Record):
+        return record.values
+    return tuple(int(value) for value in record)
+
+
+class HedgeCutClassifier:
+    """Tree-ensemble classifier supporting low-latency machine unlearning.
+
+    Args:
+        n_trees: ensemble size ``M`` (paper default 100).
+        epsilon: unlearnable fraction of the training data (paper sweet
+            spot: 0.1%).
+        max_tries_per_split: retries ``B`` before building a maintenance
+            node (paper sweet spot: 5).
+        min_leaf_size: ``n_min`` (paper default 2).
+        n_candidates: split candidates per node; ``None`` means
+            ``sqrt(n_features)``.
+        robustness_mode: "greedy" / "verified" / "off", see
+            :class:`HedgeCutParams`.
+        max_maintenance_depth: cap on nested maintenance nodes per path,
+            see :class:`HedgeCutParams`.
+        seed: ensemble random seed.
+
+    Example::
+
+        model = HedgeCutClassifier(n_trees=100, epsilon=0.001, seed=42)
+        model.fit(train)
+        label = model.predict(train.record(0))
+        model.unlearn(train.record(0))        # GDPR deletion request
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        epsilon: float = 0.001,
+        max_tries_per_split: int = 5,
+        min_leaf_size: int = 2,
+        n_candidates: int | None = None,
+        robustness_mode: str = "greedy",
+        max_maintenance_depth: int | None = 1,
+        n_jobs: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        self.params = HedgeCutParams(
+            n_trees=n_trees,
+            epsilon=epsilon,
+            max_tries_per_split=max_tries_per_split,
+            min_leaf_size=min_leaf_size,
+            n_candidates=n_candidates,
+            robustness_mode=robustness_mode,
+            max_maintenance_depth=max_maintenance_depth,
+            n_jobs=n_jobs,
+            seed=seed,
+        )
+        self._trees: list[HedgeCutTree] = []
+        self._compiled: list[CompiledTree | None] = []
+        self._schema: tuple[FeatureSchema, ...] | None = None
+        self._deletion_budget = 0
+        self._n_unlearned = 0
+        self._n_trained_on = 0
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    def fit(self, dataset: Dataset) -> "HedgeCutClassifier":
+        """Train the ensemble on an encoded dataset.
+
+        Every tree sees the full training data (ERTs do not bootstrap) with
+        an independent random stream for its attribute and cut-point
+        choices. Training replaces any previously fitted state.
+        """
+        if dataset.n_rows == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if dataset.n_features == 0:
+            raise ValueError("cannot train on a dataset without features")
+
+        rng = np.random.default_rng(self.params.seed)
+        tree_rngs = rng.spawn(self.params.n_trees)
+
+        if self.params.n_jobs > 1:
+            # Trees are fully independent (Section 5); build them in a
+            # process pool. Each worker receives its own copy of the data
+            # (the paper trains "in parallel on copies of the input data").
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=self.params.n_jobs) as pool:
+                self._trees = list(
+                    pool.map(
+                        _build_one_tree,
+                        ((dataset, self.params, tree_rng) for tree_rng in tree_rngs),
+                    )
+                )
+        else:
+            self._trees = [
+                TreeBuilder(dataset, self.params, tree_rng).build()
+                for tree_rng in tree_rngs
+            ]
+        self._compiled = [None] * len(self._trees)
+        self._schema = dataset.schema
+        self._deletion_budget = self.params.deletion_budget(dataset.n_rows)
+        self._n_unlearned = 0
+        self._n_trained_on = dataset.n_rows
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError("the model has not been fitted yet")
+
+    @property
+    def trees(self) -> tuple[HedgeCutTree, ...]:
+        """The trained trees (read-only view)."""
+        return tuple(self._trees)
+
+    @property
+    def schema(self) -> tuple[FeatureSchema, ...]:
+        self._require_fitted()
+        assert self._schema is not None
+        return self._schema
+
+    # ------------------------------------------------------------------ #
+    # prediction (Section 4.4)
+    # ------------------------------------------------------------------ #
+
+    def _compiled_tree(self, index: int) -> CompiledTree:
+        compiled = self._compiled[index]
+        if compiled is None:
+            compiled = CompiledTree.from_tree(self._trees[index].root)
+            self._compiled[index] = compiled
+        return compiled
+
+    def predict(self, record: Record | Sequence[int] | np.ndarray) -> int:
+        """Majority-vote label for one encoded record."""
+        self._require_fitted()
+        values = _as_values(record)
+        votes = 0
+        for index in range(len(self._trees)):
+            votes += self._compiled_tree(index).predict_value(values)
+        return 1 if 2 * votes > len(self._trees) else 0
+
+    def predict_proba(self, record: Record | Sequence[int] | np.ndarray) -> float:
+        """Mean positive-class probability across the trees (soft vote)."""
+        self._require_fitted()
+        values = _as_values(record)
+        total = 0.0
+        for index in range(len(self._trees)):
+            total += self._compiled_tree(index).predict_proba_value(values)
+        return total / len(self._trees)
+
+    def predict_batch(self, dataset: Dataset) -> np.ndarray:
+        """Majority-vote labels for a whole dataset (vectorised)."""
+        self._require_fitted()
+        votes = np.zeros(dataset.n_rows, dtype=np.int64)
+        for index in range(len(self._trees)):
+            votes += self._compiled_tree(index).predict_batch(dataset)
+        return (2 * votes > len(self._trees)).astype(np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # unlearning (Section 4.5)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def deletion_budget(self) -> int:
+        """Total removals the model was trained to support (``r = ε·|D|``)."""
+        self._require_fitted()
+        return self._deletion_budget
+
+    @property
+    def n_unlearned(self) -> int:
+        return self._n_unlearned
+
+    @property
+    def remaining_deletion_budget(self) -> int:
+        self._require_fitted()
+        return max(0, self._deletion_budget - self._n_unlearned)
+
+    def unlearn(
+        self, record: Record, allow_budget_overrun: bool = False
+    ) -> UnlearningReport:
+        """Remove one training record from the deployed model, in place.
+
+        The operation never touches the training data: the record itself
+        carries everything the update needs. After the update the model
+        behaves like one retrained without the record (for the same random
+        choices), as long as the total number of removals stays within the
+        deletion budget.
+
+        Args:
+            record: the encoded record to forget (label included).
+            allow_budget_overrun: continue past the deletion budget,
+                accepting an approximate model, instead of raising
+                :class:`DeletionBudgetExhausted`.
+
+        Returns:
+            an :class:`UnlearningReport` aggregated over all trees.
+        """
+        self._require_fitted()
+        if not isinstance(record, Record):
+            raise TypeError(
+                "unlearn expects a Record (encoded values + label); use "
+                "TabularPreprocessor.encode_record for raw serving requests"
+            )
+        if len(record.values) != len(self.schema):
+            raise UnlearningError(
+                f"record has {len(record.values)} values, model expects "
+                f"{len(self.schema)}"
+            )
+        if self._n_unlearned >= self._deletion_budget and not allow_budget_overrun:
+            raise DeletionBudgetExhausted(
+                f"the deletion budget of {self._deletion_budget} records is "
+                f"exhausted; retrain the model or pass allow_budget_overrun=True"
+            )
+
+        report = UnlearningReport()
+        for index, tree in enumerate(self._trees):
+            tree_report = unlearn_from_tree(tree.root, record)
+            if tree_report.variant_switches:
+                # Structure changed: drop this tree's compiled form; it is
+                # rebuilt lazily on the next prediction.
+                self._compiled[index] = None
+            report.merge(tree_report)
+        self._n_unlearned += 1
+        return report
+
+    def unlearn_batch(
+        self, records: Iterable[Record], allow_budget_overrun: bool = False
+    ) -> UnlearningReport:
+        """Unlearn several records, aggregating the reports."""
+        total = UnlearningReport()
+        for record in records:
+            total.merge(self.unlearn(record, allow_budget_overrun=allow_budget_overrun))
+        return total
+
+    # ------------------------------------------------------------------ #
+    # online learning extension (Section 8 future work)
+    # ------------------------------------------------------------------ #
+
+    def learn_one(self, record: Record) -> None:
+        """Incorporate one *new* record into the leaf and split statistics.
+
+        This is the insertion counterpart of Algorithm 4 and implements the
+        online-learning direction sketched in the paper's future work. It
+        updates every statistic on the record's paths (and re-scores
+        maintenance nodes, which may switch variants), but it does **not**
+        revise robust split decisions or grow new splits -- insertions can
+        invalidate robustness certificates, so models under sustained
+        insertion load should still be retrained periodically.
+        """
+        self._require_fitted()
+        for index, tree in enumerate(self._trees):
+            switched = _learn_one_in_tree(tree.root, record)
+            if switched:
+                self._compiled[index] = None
+
+    # ------------------------------------------------------------------ #
+    # introspection and persistence
+    # ------------------------------------------------------------------ #
+
+    def node_census(self) -> EnsembleCensus:
+        """Structural statistics per tree (Figure 6(a) reporting)."""
+        self._require_fitted()
+        return EnsembleCensus(per_tree=tuple(census(tree.root) for tree in self._trees))
+
+    def save(self, path: str | Path) -> None:
+        """Serialise the fitted model (including pending unlearning state)."""
+        self._require_fitted()
+        state = {
+            "params": self.params,
+            "trees": self._trees,
+            "schema": self._schema,
+            "deletion_budget": self._deletion_budget,
+            "n_unlearned": self._n_unlearned,
+            "n_trained_on": self._n_trained_on,
+        }
+        with open(path, "wb") as sink:
+            pickle.dump(state, sink)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HedgeCutClassifier":
+        """Restore a model saved with :meth:`save`."""
+        with open(path, "rb") as source:
+            state = pickle.load(source)
+        params: HedgeCutParams = state["params"]
+        model = cls(
+            n_trees=params.n_trees,
+            epsilon=params.epsilon,
+            max_tries_per_split=params.max_tries_per_split,
+            min_leaf_size=params.min_leaf_size,
+            n_candidates=params.n_candidates,
+            robustness_mode=params.robustness_mode,
+            max_maintenance_depth=params.max_maintenance_depth,
+            n_jobs=params.n_jobs,
+            seed=params.seed,
+        )
+        model._trees = state["trees"]
+        model._compiled = [None] * len(model._trees)
+        model._schema = state["schema"]
+        model._deletion_budget = state["deletion_budget"]
+        model._n_unlearned = state["n_unlearned"]
+        model._n_trained_on = state["n_trained_on"]
+        return model
+
+
+def _learn_one_in_tree(root, record: Record) -> bool:
+    """Insertion traversal; returns whether any variant switch occurred."""
+    switched = False
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            node.n += 1
+            if record.label == 1:
+                node.n_plus += 1
+        elif isinstance(node, SplitNode):
+            goes_left = node.split.goes_left_value(record.values[node.split.feature])
+            _insert_into_stats(node.stats, record, goes_left)
+            stack.append(node.left if goes_left else node.right)
+        elif isinstance(node, MaintenanceNode):
+            for variant in node.variants:
+                goes_left = variant.split.goes_left_value(
+                    record.values[variant.split.feature]
+                )
+                _insert_into_stats(variant.stats, record, goes_left)
+                stack.append(variant.left if goes_left else variant.right)
+            if node.rescore():
+                switched = True
+    return switched
+
+
+def _insert_into_stats(stats, record: Record, goes_left: bool) -> None:
+    stats.n += 1
+    if record.label == 1:
+        stats.n_plus += 1
+    if goes_left:
+        stats.n_left += 1
+        if record.label == 1:
+            stats.n_left_plus += 1
+
+
+def _build_one_tree(job: tuple) -> HedgeCutTree:
+    """Process-pool entry point: build one tree from a (data, params, rng) job."""
+    dataset, params, rng = job
+    return TreeBuilder(dataset, params, rng).build()

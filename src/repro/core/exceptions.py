@@ -1,0 +1,31 @@
+"""Exceptions raised by the HedgeCut model."""
+
+from __future__ import annotations
+
+
+class HedgeCutError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NotFittedError(HedgeCutError):
+    """An operation that needs a trained model was called before ``fit``."""
+
+
+class DeletionBudgetExhausted(HedgeCutError):
+    """More records were unlearned than the model was trained to support.
+
+    HedgeCut guarantees unlearn-equals-retrain only for up to ``r = ε·|D|``
+    removals (Section 2 of the paper). Beyond that, split decisions that were
+    certified robust at training time may no longer be trustworthy. Callers
+    may opt into continuing with ``allow_budget_overrun=True``, accepting an
+    approximate model until the next scheduled full retraining.
+    """
+
+
+class UnlearningError(HedgeCutError):
+    """The record to unlearn is inconsistent with the trained model.
+
+    Raised for example when unlearning would drive a leaf count negative,
+    which means the record (or one identical to it) was never part of the
+    training data -- or was already unlearned.
+    """

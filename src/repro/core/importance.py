@@ -1,0 +1,82 @@
+"""Gini feature importance for HedgeCut ensembles.
+
+Mean decrease in impurity, the standard importance measure for tree
+ensembles: every split contributes its weighted Gini gain
+(``n_node / n_root * gain``) to its feature's score. Because HedgeCut
+keeps live split statistics, importances are computed from the *current*
+statistics — they automatically reflect unlearning, including variant
+switches at maintenance nodes (where the active variant's split is the
+one that counts, matching prediction behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, TreeNode
+
+
+def tree_feature_importance(root: TreeNode, n_features: int) -> np.ndarray:
+    """Unnormalised mean-decrease-in-impurity scores for one tree.
+
+    Only active paths contribute (inactive subtree variants exist for
+    maintenance, not for prediction).
+    """
+    scores = np.zeros(n_features, dtype=np.float64)
+    root_n = _node_n(root)
+    if root_n == 0:
+        return scores
+    stack: list[TreeNode] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            continue
+        if isinstance(node, MaintenanceNode):
+            active = node.active
+            split, stats = active.split, active.stats
+            children = (active.left, active.right)
+        else:
+            split, stats = node.split, node.stats
+            children = (node.left, node.right)
+        scores[split.feature] += (stats.n / root_n) * stats.gini_gain()
+        stack.extend(children)
+    return scores
+
+
+def _node_n(node: TreeNode) -> int:
+    if isinstance(node, Leaf):
+        return node.n
+    if isinstance(node, SplitNode):
+        return node.stats.n
+    return node.active.stats.n
+
+
+def feature_importance(model: HedgeCutClassifier, normalize: bool = True) -> np.ndarray:
+    """Ensemble feature importances (averaged over trees).
+
+    Args:
+        model: a fitted classifier.
+        normalize: scale the scores to sum to one (when any is non-zero).
+
+    Returns:
+        array of length ``n_features`` aligned with ``model.schema``.
+    """
+    model._require_fitted()
+    n_features = len(model.schema)
+    totals = np.zeros(n_features, dtype=np.float64)
+    for tree in model.trees:
+        totals += tree_feature_importance(tree.root, n_features)
+    totals /= len(model.trees)
+    if normalize and totals.sum() > 0:
+        totals = totals / totals.sum()
+    return totals
+
+
+def top_features(
+    model: HedgeCutClassifier, k: int = 5
+) -> list[tuple[str, float]]:
+    """The ``k`` most important features as ``(name, score)`` pairs."""
+    scores = feature_importance(model)
+    order = np.argsort(scores)[::-1][:k]
+    return [(model.schema[index].name, float(scores[index])) for index in order]

@@ -1,0 +1,189 @@
+"""Introspection utilities for trained HedgeCut models.
+
+Operating a model that mutates in production (unlearning updates it in
+place) calls for observability: which splits are non-robust, how deep the
+trees are, how much of the deletion budget is left, what a tree actually
+looks like. This module renders trees as text and aggregates structural
+summaries -- the tooling behind the Figure 6 experiments and the
+``unlearning_audit`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.nodes import Leaf, SplitNode, TreeNode, iter_nodes
+from repro.dataprep.dataset import FeatureSchema
+
+
+@dataclass(frozen=True)
+class TreeSummary:
+    """Structural summary of one tree."""
+
+    n_leaves: int
+    n_robust_splits: int
+    n_maintenance_nodes: int
+    n_variants: int
+    max_depth: int
+    mean_leaf_size: float
+    total_records: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_leaves + self.n_robust_splits + self.n_maintenance_nodes
+
+
+def summarize_tree(root: TreeNode) -> TreeSummary:
+    """Aggregate structure statistics of one tree (variants included)."""
+    n_leaves = 0
+    n_robust = 0
+    n_maintenance = 0
+    n_variants = 0
+    leaf_sizes: list[int] = []
+    for node in iter_nodes(root):
+        if isinstance(node, Leaf):
+            n_leaves += 1
+            leaf_sizes.append(node.n)
+        elif isinstance(node, SplitNode):
+            n_robust += 1
+        else:
+            n_maintenance += 1
+            n_variants += len(node.variants)
+    max_depth = _max_depth(root)
+    # Total records counted along active paths only (each record lives in
+    # exactly one active leaf).
+    total = _active_leaf_total(root)
+    mean_leaf = float(np.mean(leaf_sizes)) if leaf_sizes else 0.0
+    return TreeSummary(
+        n_leaves=n_leaves,
+        n_robust_splits=n_robust,
+        n_maintenance_nodes=n_maintenance,
+        n_variants=n_variants,
+        max_depth=max_depth,
+        mean_leaf_size=mean_leaf,
+        total_records=total,
+    )
+
+
+def _max_depth(node: TreeNode, depth: int = 0) -> int:
+    if isinstance(node, Leaf):
+        return depth
+    if isinstance(node, SplitNode):
+        return max(_max_depth(node.left, depth + 1), _max_depth(node.right, depth + 1))
+    return max(
+        max(
+            _max_depth(variant.left, depth + 1),
+            _max_depth(variant.right, depth + 1),
+        )
+        for variant in node.variants
+    )
+
+
+def _active_leaf_total(node: TreeNode) -> int:
+    if isinstance(node, Leaf):
+        return node.n
+    if isinstance(node, SplitNode):
+        return _active_leaf_total(node.left) + _active_leaf_total(node.right)
+    active = node.active
+    return _active_leaf_total(active.left) + _active_leaf_total(active.right)
+
+
+def render_tree(
+    root: TreeNode,
+    schema: tuple[FeatureSchema, ...],
+    max_depth: int | None = 4,
+) -> str:
+    """Render a tree as indented text, marking maintenance nodes.
+
+    Args:
+        root: tree to render.
+        schema: feature schema for human-readable split descriptions.
+        max_depth: truncate below this depth (``None`` renders everything).
+    """
+    lines: list[str] = []
+
+    def emit(node: TreeNode, depth: int, prefix: str) -> None:
+        indent = "  " * depth
+        if max_depth is not None and depth > max_depth:
+            lines.append(f"{indent}{prefix}...")
+            return
+        if isinstance(node, Leaf):
+            lines.append(f"{indent}{prefix}leaf(n={node.n}, n+={node.n_plus})")
+            return
+        if isinstance(node, SplitNode):
+            description = node.split.describe(schema[node.split.feature])
+            lines.append(
+                f"{indent}{prefix}split[{description}] "
+                f"(gain={node.stats.gini_gain():.4f})"
+            )
+            emit(node.left, depth + 1, "yes: ")
+            emit(node.right, depth + 1, "no:  ")
+            return
+        lines.append(
+            f"{indent}{prefix}maintenance({len(node.variants)} variants, "
+            f"active={node.active_index})"
+        )
+        for index, variant in enumerate(node.variants):
+            marker = "*" if index == node.active_index else " "
+            description = variant.split.describe(schema[variant.split.feature])
+            lines.append(
+                f"{indent}  {marker}variant[{description}] (gain={variant.gain:.4f})"
+            )
+            emit(variant.left, depth + 2, "yes: ")
+            emit(variant.right, depth + 2, "no:  ")
+
+    emit(root, 0, "")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Deployment-facing summary of a fitted classifier."""
+
+    n_trees: int
+    deletion_budget: int
+    n_unlearned: int
+    summaries: tuple[TreeSummary, ...]
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(summary.n_nodes for summary in self.summaries)
+
+    @property
+    def non_robust_fraction(self) -> float:
+        total = self.total_nodes
+        if total == 0:
+            return 0.0
+        return sum(s.n_maintenance_nodes for s in self.summaries) / total
+
+    @property
+    def mean_depth(self) -> float:
+        return float(np.mean([summary.max_depth for summary in self.summaries]))
+
+    def format_summary(self) -> str:
+        lines = [
+            f"HedgeCut model: {self.n_trees} trees, {self.total_nodes} nodes",
+            (
+                f"deletion budget: {self.n_unlearned}/{self.deletion_budget} "
+                "used"
+            ),
+            (
+                f"non-robust nodes: {self.non_robust_fraction:.2%}; "
+                f"mean max depth: {self.mean_depth:.1f}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def inspect_model(model: HedgeCutClassifier) -> ModelReport:
+    """Summarise a fitted classifier for dashboards and audits."""
+    summaries = tuple(summarize_tree(tree.root) for tree in model.trees)
+    return ModelReport(
+        n_trees=len(model.trees),
+        deletion_budget=model.deletion_budget,
+        n_unlearned=model.n_unlearned,
+        summaries=summaries,
+    )

@@ -1,0 +1,228 @@
+"""General K-class split statistics and robustness analysis.
+
+The paper states the Gini gain for the general case of ``K`` classes
+(Section 3) but focuses on binary classification for the model and its
+SIMD kernels (Section 5). This module provides the K-class generalisation
+of the statistics layer as groundwork for a multi-class HedgeCut:
+
+* :class:`MulticlassSplitStats` -- per-class counts on each side of a
+  split, with the general Gini gain;
+* :func:`weaken_split_multiclass` / :func:`is_robust_multiclass` -- the
+  Algorithm 2 greedy test generalised to ``4K`` removal configurations
+  (class of the removed record x side under ``s*`` x side under ``t``);
+* :func:`enumerate_is_robust_multiclass` -- the exhaustive oracle over
+  removal multisets, exponential in ``K`` and therefore only intended for
+  validating the greedy test at small sizes.
+
+The deployed ensemble itself remains binary, matching the paper's scope;
+these primitives are exercised by the test suite and available to
+downstream work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+
+@dataclass
+class MulticlassSplitStats:
+    """Per-class left/right counts of one split over ``K`` classes.
+
+    Attributes:
+        left: length-``K`` integer array of per-class counts going left.
+        right: length-``K`` integer array of per-class counts going right.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        if self.left.shape != self.right.shape or self.left.ndim != 1:
+            raise ValueError("left/right must be 1-D arrays of equal length")
+        if (self.left < 0).any() or (self.right < 0).any():
+            raise ValueError("class counts must be non-negative")
+
+    @classmethod
+    def from_labels(
+        cls, labels: np.ndarray, goes_left: np.ndarray, n_classes: int
+    ) -> "MulticlassSplitStats":
+        """Count per-class side assignments from label and side vectors."""
+        labels = np.asarray(labels, dtype=np.int64)
+        goes_left = np.asarray(goes_left, dtype=bool)
+        left = np.bincount(labels[goes_left], minlength=n_classes)
+        right = np.bincount(labels[~goes_left], minlength=n_classes)
+        return cls(left=left, right=right)
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.left.sum() + self.right.sum())
+
+    @property
+    def n_left(self) -> int:
+        return int(self.left.sum())
+
+    @property
+    def n_right(self) -> int:
+        return int(self.right.sum())
+
+    def class_total(self, label: int) -> int:
+        return int(self.left[label] + self.right[label])
+
+    def copy(self) -> "MulticlassSplitStats":
+        return MulticlassSplitStats(left=self.left.copy(), right=self.right.copy())
+
+    # ------------------------------------------------------------------ #
+    # Gini gain (Section 3, general form)
+    # ------------------------------------------------------------------ #
+
+    def gini_gain(self) -> float:
+        """``sum_c p(c)p(¬c) - [w_l sum_c p_l(c)p_l(¬c) + w_r ...]``."""
+        n = self.n
+        if n <= 0:
+            return 0.0
+        totals = self.left + self.right
+        before = _gini_impurity_counts(totals)
+        n_left = self.n_left
+        n_right = self.n_right
+        after = (n_left / n) * _gini_impurity_counts(self.left) + (
+            n_right / n
+        ) * _gini_impurity_counts(self.right)
+        return before - after
+
+    # ------------------------------------------------------------------ #
+    # single-record removal
+    # ------------------------------------------------------------------ #
+
+    def can_remove(self, label: int, left: bool) -> bool:
+        side = self.left if left else self.right
+        return bool(side[label] > 0)
+
+    def remove(self, label: int, left: bool) -> None:
+        if not self.can_remove(label, left):
+            raise ValueError(
+                f"cannot remove class {label} from the "
+                f"{'left' if left else 'right'} partition"
+            )
+        if left:
+            self.left[label] -= 1
+        else:
+            self.right[label] -= 1
+
+    def after_removal(self, label: int, left: bool) -> "MulticlassSplitStats":
+        updated = self.copy()
+        updated.remove(label, left)
+        return updated
+
+
+def _gini_impurity_counts(counts: np.ndarray) -> float:
+    """``sum_c p(c)(1 - p(c))`` over a per-class count vector."""
+    n = int(counts.sum())
+    if n <= 0:
+        return 0.0
+    probabilities = counts / n
+    return float((probabilities * (1.0 - probabilities)).sum())
+
+
+@dataclass(frozen=True)
+class MulticlassWeakeningStep:
+    delta: float
+    best_stats: MulticlassSplitStats
+    candidate_stats: MulticlassSplitStats
+    config: tuple[int, bool, bool]
+
+
+def weaken_split_multiclass(
+    best: MulticlassSplitStats, candidate: MulticlassSplitStats
+) -> MulticlassWeakeningStep | None:
+    """One greedy weakening step over the ``4K`` removal configurations."""
+    if best.n_classes != candidate.n_classes:
+        raise ValueError("split statistics disagree on the number of classes")
+    chosen: MulticlassWeakeningStep | None = None
+    for label, best_left, candidate_left in product(
+        range(best.n_classes), (True, False), (True, False)
+    ):
+        applicable = best.can_remove(label, best_left) and candidate.can_remove(
+            label, candidate_left
+        )
+        if not applicable:
+            continue
+        weakened_best = best.after_removal(label, best_left)
+        weakened_candidate = candidate.after_removal(label, candidate_left)
+        delta = weakened_best.gini_gain() - weakened_candidate.gini_gain()
+        if chosen is None or delta < chosen.delta:
+            chosen = MulticlassWeakeningStep(
+                delta, weakened_best, weakened_candidate, (label, best_left, candidate_left)
+            )
+    return chosen
+
+
+def is_robust_multiclass(
+    best: MulticlassSplitStats, candidate: MulticlassSplitStats, r: int
+) -> bool:
+    """Greedy robustness verdict for K-class split statistics."""
+    if r < 0:
+        raise ValueError(f"robustness budget must be non-negative, got {r}")
+    current_best = best
+    current_candidate = candidate
+    for _ in range(r):
+        step = weaken_split_multiclass(current_best, current_candidate)
+        if step is None:
+            return True
+        if step.delta < 0.0:
+            return False
+        current_best = step.best_stats
+        current_candidate = step.candidate_stats
+    return True
+
+
+def enumerate_is_robust_multiclass(
+    best: MulticlassSplitStats, candidate: MulticlassSplitStats, r: int
+) -> bool:
+    """Exhaustive oracle over removal multisets (small ``K`` and ``r`` only).
+
+    A removal configuration is ``(class, best-side, candidate-side)``; the
+    final statistics depend only on the per-configuration counts, so
+    multisets suffice (see the binary oracle for the argument).
+    """
+    if r < 0:
+        raise ValueError(f"robustness budget must be non-negative, got {r}")
+    configs = list(
+        product(range(best.n_classes), (True, False), (True, False))
+    )
+
+    def apply(stats: MulticlassSplitStats, removals, side_index: int):
+        updated = stats.copy()
+        for (label, *sides), count in removals:
+            if count == 0:
+                continue
+            side = updated.left if sides[side_index] else updated.right
+            side[label] -= count
+        if (updated.left < 0).any() or (updated.right < 0).any():
+            return None
+        return updated
+
+    def search(index: int, remaining: int, chosen) -> bool:
+        if index == len(configs):
+            weakened_best = apply(best, chosen, side_index=0)
+            weakened_candidate = apply(candidate, chosen, side_index=1)
+            if weakened_best is None or weakened_candidate is None:
+                return False
+            return weakened_best.gini_gain() - weakened_candidate.gini_gain() < 0.0
+        for count in range(remaining + 1):
+            chosen.append((configs[index], count))
+            if search(index + 1, remaining - count, chosen):
+                chosen.pop()
+                return True
+            chosen.pop()
+        return False
+
+    return not search(0, r, [])

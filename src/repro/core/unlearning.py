@@ -1,0 +1,97 @@
+"""Unlearning a training record from a tree (Section 4.5, Algorithm 4).
+
+The traversal mirrors prediction: the record walks down each tree. Leaves
+decrement their label counts; robust split nodes route the record onward
+(their decision is certified not to change); maintenance nodes propagate the
+removal into *every* subtree variant, update every variant's split
+statistics, and re-score -- possibly switching the active variant, which is
+exactly the case where a retrained model would have chosen a different
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import UnlearningError
+from repro.core.nodes import Leaf, SplitNode, TreeNode
+from repro.core.splits import SplitStats
+from repro.dataprep.dataset import Record
+
+
+@dataclass
+class UnlearningReport:
+    """Observability counters for one unlearning operation.
+
+    Attributes:
+        leaves_updated: leaf statistic updates applied.
+        robust_nodes_visited: robust split nodes traversed.
+        maintenance_nodes_visited: maintenance nodes whose variants were
+            updated.
+        variant_switches: maintenance nodes whose active variant changed
+            (the *split switches* of Figure 6(b)).
+    """
+
+    leaves_updated: int = 0
+    robust_nodes_visited: int = 0
+    maintenance_nodes_visited: int = 0
+    variant_switches: int = 0
+
+    def merge(self, other: "UnlearningReport") -> None:
+        self.leaves_updated += other.leaves_updated
+        self.robust_nodes_visited += other.robust_nodes_visited
+        self.maintenance_nodes_visited += other.maintenance_nodes_visited
+        self.variant_switches += other.variant_switches
+
+
+def _remove_from_leaf(leaf: Leaf, record: Record) -> None:
+    if leaf.n <= 0 or (record.label == 1 and leaf.n_plus <= 0):
+        raise UnlearningError(
+            "unlearning would drive a leaf count negative; the record was "
+            "not part of the training data routed to this leaf (or was "
+            "already unlearned)"
+        )
+    leaf.n -= 1
+    if record.label == 1:
+        leaf.n_plus -= 1
+
+
+def _remove_from_stats(stats: SplitStats, record: Record, goes_left: bool) -> None:
+    positive = record.label == 1
+    if not stats.can_remove(positive, goes_left):
+        raise UnlearningError(
+            "unlearning would drive a split statistic negative; the record "
+            "is inconsistent with the trained split"
+        )
+    stats.remove(positive, goes_left)
+
+
+def unlearn_from_tree(root: TreeNode, record: Record) -> UnlearningReport:
+    """Apply Algorithm 4 to one tree; returns the per-tree report.
+
+    The traversal is iterative with an explicit stack because maintenance
+    nodes fan the record out into every variant.
+    """
+    report = UnlearningReport()
+    stack: list[TreeNode] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            _remove_from_leaf(node, record)
+            report.leaves_updated += 1
+        elif isinstance(node, SplitNode):
+            report.robust_nodes_visited += 1
+            goes_left = node.split.goes_left_value(record.values[node.split.feature])
+            _remove_from_stats(node.stats, record, goes_left)
+            stack.append(node.left if goes_left else node.right)
+        else:
+            report.maintenance_nodes_visited += 1
+            for variant in node.variants:
+                goes_left = variant.split.goes_left_value(
+                    record.values[variant.split.feature]
+                )
+                _remove_from_stats(variant.stats, record, goes_left)
+                stack.append(variant.left if goes_left else variant.right)
+            if node.rescore():
+                report.variant_switches += 1
+    return report

@@ -1,0 +1,146 @@
+"""Self-checks for deployed models.
+
+A model that mutates in production deserves an invariant checker. This
+module walks a fitted ensemble and verifies every structural invariant the
+unlearning machinery relies on; operators can run it after unlearning
+campaigns (or on a schedule) to detect corruption before it reaches
+predictions. The checks mirror what the test suite proves on small models,
+packaged for production use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, TreeNode
+
+
+@dataclass
+class ValidationIssue:
+    """One violated invariant."""
+
+    tree_index: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of a model self-check."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+    nodes_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def format_report(self) -> str:
+        if self.ok:
+            return f"model OK ({self.nodes_checked} nodes checked)"
+        lines = [f"model INVALID: {len(self.issues)} issue(s)"]
+        for issue in self.issues[:20]:
+            lines.append(f"  tree {issue.tree_index}: [{issue.kind}] {issue.detail}")
+        if len(self.issues) > 20:
+            lines.append(f"  ... and {len(self.issues) - 20} more")
+        return "\n".join(lines)
+
+
+def validate_model(model: HedgeCutClassifier) -> ValidationResult:
+    """Check every structural invariant of a fitted ensemble.
+
+    Invariants checked per node:
+
+    * leaf counts are non-negative and ``n_plus <= n``;
+    * split statistics are internally consistent (no negative quadrant);
+    * a split node's statistics agree with the *active-path* totals of its
+      children (``n == left-total + right-total``);
+    * every maintenance node's variants agree on ``(n, n_plus)`` (they
+      describe the same records) and the active variant has maximal gain.
+    """
+    result = ValidationResult()
+    for tree_index, tree in enumerate(model.trees):
+        _validate_node(tree.root, tree_index, result)
+    return result
+
+
+def _active_totals(node: TreeNode) -> tuple[int, int]:
+    """``(n, n_plus)`` of a subtree along active paths."""
+    if isinstance(node, Leaf):
+        return node.n, node.n_plus
+    if isinstance(node, SplitNode):
+        left = _active_totals(node.left)
+        right = _active_totals(node.right)
+        return left[0] + right[0], left[1] + right[1]
+    active = node.active
+    left = _active_totals(active.left)
+    right = _active_totals(active.right)
+    return left[0] + right[0], left[1] + right[1]
+
+
+def _validate_node(node: TreeNode, tree_index: int, result: ValidationResult) -> None:
+    result.nodes_checked += 1
+    if isinstance(node, Leaf):
+        if node.n < 0 or node.n_plus < 0 or node.n_plus > node.n:
+            result.issues.append(
+                ValidationIssue(
+                    tree_index,
+                    "leaf-counts",
+                    f"leaf has n={node.n}, n_plus={node.n_plus}",
+                )
+            )
+        return
+
+    if isinstance(node, SplitNode):
+        try:
+            node.stats.validate()
+        except ValueError as error:
+            result.issues.append(
+                ValidationIssue(tree_index, "split-stats", str(error))
+            )
+        totals = _active_totals(node)
+        if totals != (node.stats.n, node.stats.n_plus):
+            result.issues.append(
+                ValidationIssue(
+                    tree_index,
+                    "split-vs-children",
+                    f"stats say (n={node.stats.n}, n+={node.stats.n_plus}), "
+                    f"children sum to {totals}",
+                )
+            )
+        _validate_node(node.left, tree_index, result)
+        _validate_node(node.right, tree_index, result)
+        return
+
+    assert isinstance(node, MaintenanceNode)
+    reference = (node.variants[0].stats.n, node.variants[0].stats.n_plus)
+    for variant in node.variants:
+        try:
+            variant.stats.validate()
+        except ValueError as error:
+            result.issues.append(
+                ValidationIssue(tree_index, "variant-stats", str(error))
+            )
+        if (variant.stats.n, variant.stats.n_plus) != reference:
+            result.issues.append(
+                ValidationIssue(
+                    tree_index,
+                    "variant-totals",
+                    f"variants disagree on totals: {reference} vs "
+                    f"({variant.stats.n}, {variant.stats.n_plus})",
+                )
+            )
+    best_gain = max(variant.stats.gini_gain() for variant in node.variants)
+    if node.active.stats.gini_gain() < best_gain - 1e-9:
+        result.issues.append(
+            ValidationIssue(
+                tree_index,
+                "stale-active-variant",
+                f"active gain {node.active.stats.gini_gain():.6f} "
+                f"< best {best_gain:.6f}",
+            )
+        )
+    for variant in node.variants:
+        _validate_node(variant.left, tree_index, result)
+        _validate_node(variant.right, tree_index, result)

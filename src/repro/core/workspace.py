@@ -1,0 +1,61 @@
+"""In-place partitioned training workspace (Section 5 of the paper).
+
+Like scikit-learn and the paper's Rust implementation, the trainer does not
+shuffle index arrays around: each tree works on a private, mutable copy of
+the training columns and *partitions them in place* after deciding on a
+split, recursing with ``[lo, hi)`` ranges ("pointers to mutable slices" in
+the paper). Every per-node operation then touches contiguous memory, which
+is what makes the scan kernels effective.
+
+Maintenance nodes re-partition the same range once per subtree variant;
+this is sound because the range always contains the same *multiset* of
+records -- only their order changes, and no statistic depends on order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataprep.dataset import Dataset
+
+
+class TreeWorkspace:
+    """A mutable, column-oriented copy of the training data for one tree."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._columns = [
+            np.array(dataset.column(feature), copy=True)
+            for feature in range(dataset.n_features)
+        ]
+        self._labels = np.array(dataset.labels, copy=True)
+        self.n_rows = dataset.n_rows
+        self.n_features = dataset.n_features
+
+    def codes(self, feature: int, lo: int, hi: int) -> np.ndarray:
+        """Contiguous view of one feature over a node's range."""
+        return self._columns[feature][lo:hi]
+
+    def labels(self, lo: int, hi: int) -> np.ndarray:
+        """Contiguous view of the labels over a node's range."""
+        return self._labels[lo:hi]
+
+    def partition(self, lo: int, hi: int, goes_left: np.ndarray) -> int:
+        """Stable in-place partition of ``[lo, hi)`` by a boolean mask.
+
+        Records with ``goes_left`` move to the front of the range. Returns
+        ``mid`` such that the left child owns ``[lo, mid)`` and the right
+        child ``[mid, hi)``.
+        """
+        if goes_left.shape[0] != hi - lo:
+            raise ValueError(
+                f"mask covers {goes_left.shape[0]} rows, range holds {hi - lo}"
+            )
+        # A stable argsort of (not goes_left) yields the left block followed
+        # by the right block, preserving relative order within each.
+        order = np.argsort(~goes_left, kind="stable")
+        for column in self._columns:
+            segment = column[lo:hi]
+            segment[:] = segment[order]
+        labels = self._labels[lo:hi]
+        labels[:] = labels[order]
+        return lo + int(np.count_nonzero(goes_left))

@@ -1,0 +1,37 @@
+"""Data preparation substrate: discretisation and compact column encoding.
+
+HedgeCut (Section 4.3 of the paper) does not split on raw feature values.
+Continuous features are discretised into twenty global quantile buckets
+(the 5th, 10th, ... percentiles of the training distribution) and stored as
+8-bit integers; categorical features are integer-coded and split via random
+subset membership, with a 32-bit bitmask fast path for cardinalities up to
+32 (mirroring the Rust SIMD layout).
+
+This package provides:
+
+* :class:`~repro.dataprep.dataset.Dataset` -- the column-oriented container
+  every model in this repository trains on.
+* :class:`~repro.dataprep.discretizer.QuantileDiscretizer` -- global
+  percentile proposals for numeric features.
+* :class:`~repro.dataprep.encoder.CategoricalEncoder` -- stable
+  value-to-code mapping for categorical features.
+* :class:`~repro.dataprep.pipeline.TabularPreprocessor` -- fits both of the
+  above over a raw table and produces :class:`Dataset` objects, including
+  single-record encoding for unlearning requests arriving at serving time.
+"""
+
+from repro.dataprep.dataset import Dataset, FeatureKind, FeatureSchema, Record
+from repro.dataprep.discretizer import QuantileDiscretizer
+from repro.dataprep.encoder import CategoricalEncoder
+from repro.dataprep.pipeline import RawTable, TabularPreprocessor
+
+__all__ = [
+    "Dataset",
+    "FeatureKind",
+    "FeatureSchema",
+    "Record",
+    "QuantileDiscretizer",
+    "CategoricalEncoder",
+    "RawTable",
+    "TabularPreprocessor",
+]

@@ -1,0 +1,244 @@
+"""Column-oriented dataset container with compact integer encodings.
+
+The container mirrors the memory layout of the paper's Rust implementation:
+numeric features are stored as ``uint8`` quantile-bucket codes, categorical
+features as small integer codes, and the binary label as ``uint8``. Scans
+(for Gini-gain counting) stream over one contiguous column at a time, like a
+column store.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Number of quantile buckets used for numeric features throughout the
+#: repository (the paper discretises into twenty buckets, Section 4.3).
+DEFAULT_N_BUCKETS = 20
+
+#: Largest categorical cardinality served by the uint32 bitmask fast path.
+BITMASK_MAX_CARDINALITY = 32
+
+
+class FeatureKind(enum.Enum):
+    """Kind of an encoded feature column."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class FeatureSchema:
+    """Static description of one encoded feature column.
+
+    Attributes:
+        name: human-readable feature name.
+        kind: whether the column holds discretised numeric buckets or
+            categorical codes.
+        n_values: number of distinct codes the column may contain. For
+            numeric features this equals the number of quantile buckets;
+            codes are in ``[0, n_values - 1]``. For categorical features it
+            is the domain cardinality.
+    """
+
+    name: str
+    kind: FeatureKind
+    n_values: int
+
+    def __post_init__(self) -> None:
+        if self.n_values < 1:
+            raise ValueError(
+                f"feature {self.name!r} must have at least one value, "
+                f"got n_values={self.n_values}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is FeatureKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is FeatureKind.CATEGORICAL
+
+    @property
+    def supports_bitmask(self) -> bool:
+        """Whether subset tests on this column can use the uint32 fast path."""
+        return self.is_categorical and self.n_values <= BITMASK_MAX_CARDINALITY
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single encoded training record, as retrieved by a point query.
+
+    Unlearning requests at serving time carry the encoded feature values and
+    the label of the record to forget -- the model itself never re-reads the
+    training data (Section 2 of the paper).
+    """
+
+    values: tuple[int, ...]
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise ValueError(f"binary label expected, got {self.label!r}")
+
+
+def _column_dtype(schema: FeatureSchema) -> np.dtype:
+    """Smallest integer dtype that holds every code of the column."""
+    if schema.n_values <= 256:
+        return np.dtype(np.uint8)
+    if schema.n_values <= 65536:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
+
+
+class Dataset:
+    """Immutable column-oriented table of encoded features plus binary labels.
+
+    Args:
+        schema: one :class:`FeatureSchema` per feature column.
+        columns: one 1-D integer array per feature, all of equal length.
+        labels: 1-D array of 0/1 labels, same length as the columns.
+
+    The constructor validates shapes, code ranges and label values, and
+    normalises dtypes to the compact representation described in the module
+    docstring. Columns are stored read-only.
+    """
+
+    def __init__(
+        self,
+        schema: Sequence[FeatureSchema],
+        columns: Sequence[np.ndarray],
+        labels: np.ndarray,
+    ) -> None:
+        if len(schema) != len(columns):
+            raise ValueError(
+                f"schema describes {len(schema)} features but "
+                f"{len(columns)} columns were supplied"
+            )
+        labels = np.asarray(labels)
+        if labels.ndim != 1:
+            raise ValueError("labels must be one-dimensional")
+        bad_labels = (labels != 0) & (labels != 1)
+        if bad_labels.any():
+            raise ValueError("labels must be binary (0 or 1)")
+
+        normalised: list[np.ndarray] = []
+        for feature, column in zip(schema, columns):
+            column = np.asarray(column)
+            if column.ndim != 1:
+                raise ValueError(f"column {feature.name!r} must be one-dimensional")
+            if column.shape[0] != labels.shape[0]:
+                raise ValueError(
+                    f"column {feature.name!r} has {column.shape[0]} rows, "
+                    f"labels have {labels.shape[0]}"
+                )
+            if column.size and (column.min() < 0 or column.max() >= feature.n_values):
+                raise ValueError(
+                    f"column {feature.name!r} contains codes outside "
+                    f"[0, {feature.n_values - 1}]"
+                )
+            compact = column.astype(_column_dtype(feature), copy=True)
+            compact.setflags(write=False)
+            normalised.append(compact)
+
+        compact_labels = labels.astype(np.uint8, copy=True)
+        compact_labels.setflags(write=False)
+
+        self._schema = tuple(schema)
+        self._columns = tuple(normalised)
+        self._labels = compact_labels
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> tuple[FeatureSchema, ...]:
+        return self._schema
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._labels.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return len(self._schema)
+
+    @property
+    def n_positive(self) -> int:
+        return int(self._labels.sum())
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def column(self, feature_index: int) -> np.ndarray:
+        """Return the full (read-only) code array of one feature."""
+        return self._columns[feature_index]
+
+    def feature_index(self, name: str) -> int:
+        """Resolve a feature name to its column index."""
+        for index, feature in enumerate(self._schema):
+            if feature.name == name:
+                return index
+        raise KeyError(f"no feature named {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # record access
+    # ------------------------------------------------------------------ #
+
+    def record(self, row: int) -> Record:
+        """Materialise one row as a :class:`Record` (point-query result)."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+        values = tuple(int(column[row]) for column in self._columns)
+        return Record(values=values, label=int(self._labels[row]))
+
+    def records(self, rows: Iterable[int]) -> Iterator[Record]:
+        """Yield :class:`Record` objects for the given row indices."""
+        for row in rows:
+            yield self.record(row)
+
+    def feature_matrix(self) -> np.ndarray:
+        """Return an ``(n_rows, n_features)`` int64 matrix of the codes.
+
+        This is a convenience for batch prediction and for the baselines; the
+        HedgeCut trainer itself scans the columnar representation.
+        """
+        if not self._columns:
+            return np.empty((self.n_rows, 0), dtype=np.int64)
+        return np.column_stack([column.astype(np.int64) for column in self._columns])
+
+    # ------------------------------------------------------------------ #
+    # subsetting
+    # ------------------------------------------------------------------ #
+
+    def take(self, rows: np.ndarray) -> "Dataset":
+        """Return a new dataset with only the given rows (in order)."""
+        rows = np.asarray(rows)
+        columns = [column[rows] for column in self._columns]
+        return Dataset(self._schema, columns, self._labels[rows])
+
+    def drop(self, rows: Sequence[int]) -> "Dataset":
+        """Return a new dataset without the given rows.
+
+        Used by the retraining baselines in the unlearning experiments: a
+        retrained model sees ``train.drop(removed_rows)``.
+        """
+        mask = np.ones(self.n_rows, dtype=bool)
+        mask[np.asarray(list(rows), dtype=np.int64)] = False
+        return self.take(np.flatnonzero(mask))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(
+            f"{feature.name}:{feature.kind.value}[{feature.n_values}]"
+            for feature in self._schema
+        )
+        return f"Dataset(n_rows={self.n_rows}, features=[{kinds}])"

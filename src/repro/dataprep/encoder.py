@@ -1,0 +1,79 @@
+"""Stable integer coding of categorical features."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+class CategoricalEncoder:
+    """Map categorical values to dense integer codes ``0 .. cardinality-1``.
+
+    Codes are assigned in sorted order of the observed training values so the
+    encoding is deterministic across runs. Unseen values at transform time
+    raise ``KeyError`` by default, or map to a dedicated extra code when the
+    encoder was created with ``allow_unseen=True`` (useful at serving time
+    where a prediction request may carry a category the training data never
+    contained).
+    """
+
+    def __init__(self, allow_unseen: bool = False) -> None:
+        self.allow_unseen = allow_unseen
+        self._code_of: dict[Hashable, int] | None = None
+        self._values: tuple[Hashable, ...] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._code_of is not None
+
+    @property
+    def cardinality(self) -> int:
+        """Number of codes, including the unseen sentinel when enabled."""
+        if self._code_of is None:
+            raise RuntimeError("CategoricalEncoder has not been fitted")
+        return len(self._code_of) + (1 if self.allow_unseen else 0)
+
+    @property
+    def unseen_code(self) -> int:
+        """The sentinel code for unseen values (only with ``allow_unseen``)."""
+        if not self.allow_unseen:
+            raise RuntimeError("encoder was not created with allow_unseen=True")
+        return self.cardinality - 1
+
+    def fit(self, values: Sequence[Hashable]) -> "CategoricalEncoder":
+        distinct = sorted(set(values), key=lambda value: (str(type(value)), str(value)))
+        if not distinct:
+            raise ValueError("cannot fit an encoder on an empty column")
+        self._code_of = {value: code for code, value in enumerate(distinct)}
+        self._values = tuple(distinct)
+        return self
+
+    def transform(self, values: Sequence[Hashable]) -> np.ndarray:
+        codes = np.fromiter(
+            (self.transform_one(value) for value in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        return codes
+
+    def fit_transform(self, values: Sequence[Hashable]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def transform_one(self, value: Hashable) -> int:
+        if self._code_of is None:
+            raise RuntimeError("CategoricalEncoder has not been fitted")
+        code = self._code_of.get(value)
+        if code is None:
+            if self.allow_unseen:
+                return self.unseen_code
+            raise KeyError(f"unseen categorical value {value!r}")
+        return code
+
+    def inverse_transform_one(self, code: int) -> Hashable:
+        """Return the original value of a code (sentinel maps to ``None``)."""
+        if self._values is None:
+            raise RuntimeError("CategoricalEncoder has not been fitted")
+        if self.allow_unseen and code == self.unseen_code:
+            return None
+        return self._values[code]

@@ -1,0 +1,138 @@
+"""End-to-end preprocessing from a raw table to a :class:`Dataset`.
+
+The preprocessor is the component that sits in front of the model in both
+the training pipeline and the serving system of Figure 1: at training time
+it fits the quantile proposals and categorical codes and emits the compact
+column layout; at serving time it encodes single raw records so that
+prediction and unlearning requests can be issued against the deployed
+model without touching the training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dataprep.dataset import Dataset, FeatureKind, FeatureSchema, Record
+from repro.dataprep.discretizer import QuantileDiscretizer
+from repro.dataprep.encoder import CategoricalEncoder
+
+
+@dataclass
+class RawTable:
+    """A raw, unencoded table: named columns plus a binary label column.
+
+    Attributes:
+        numeric: mapping from feature name to a float array.
+        categorical: mapping from feature name to a sequence of hashable
+            values (strings, ints, ...).
+        labels: 0/1 integer array.
+    """
+
+    numeric: Mapping[str, np.ndarray] = field(default_factory=dict)
+    categorical: Mapping[str, Sequence[Hashable]] = field(default_factory=dict)
+    labels: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.uint8))
+
+    @property
+    def n_rows(self) -> int:
+        return int(np.asarray(self.labels).shape[0])
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """All feature names, numeric first, in insertion order."""
+        return tuple(self.numeric) + tuple(self.categorical)
+
+    def validate(self) -> None:
+        n_rows = self.n_rows
+        for name, column in self.numeric.items():
+            if np.asarray(column).shape[0] != n_rows:
+                raise ValueError(f"numeric column {name!r} length mismatch")
+        for name, column in self.categorical.items():
+            if len(column) != n_rows:
+                raise ValueError(f"categorical column {name!r} length mismatch")
+        if not self.numeric and not self.categorical:
+            raise ValueError("raw table has no feature columns")
+
+
+class TabularPreprocessor:
+    """Fit discretizers/encoders on a raw table and encode datasets/records.
+
+    Args:
+        n_buckets: quantile buckets for numeric features (paper default: 20).
+        allow_unseen_categories: encode unseen categorical values to a
+            sentinel code instead of raising, for serving-time robustness.
+    """
+
+    def __init__(self, n_buckets: int = 20, allow_unseen_categories: bool = False) -> None:
+        self.n_buckets = n_buckets
+        self.allow_unseen_categories = allow_unseen_categories
+        self._discretizers: dict[str, QuantileDiscretizer] = {}
+        self._encoders: dict[str, CategoricalEncoder] = {}
+        self._schema: tuple[FeatureSchema, ...] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._schema is not None
+
+    @property
+    def schema(self) -> tuple[FeatureSchema, ...]:
+        if self._schema is None:
+            raise RuntimeError("TabularPreprocessor has not been fitted")
+        return self._schema
+
+    def fit(self, table: RawTable) -> "TabularPreprocessor":
+        """Fit quantile proposals and category codes on the training table."""
+        table.validate()
+        schema: list[FeatureSchema] = []
+        self._discretizers = {}
+        self._encoders = {}
+
+        for name, column in table.numeric.items():
+            discretizer = QuantileDiscretizer(self.n_buckets).fit(np.asarray(column))
+            self._discretizers[name] = discretizer
+            schema.append(FeatureSchema(name, FeatureKind.NUMERIC, discretizer.n_codes))
+
+        for name, column in table.categorical.items():
+            encoder = CategoricalEncoder(allow_unseen=self.allow_unseen_categories)
+            encoder.fit(column)
+            self._encoders[name] = encoder
+            schema.append(FeatureSchema(name, FeatureKind.CATEGORICAL, encoder.cardinality))
+
+        self._schema = tuple(schema)
+        return self
+
+    def transform(self, table: RawTable) -> Dataset:
+        """Encode a raw table into the compact column layout."""
+        table.validate()
+        columns = []
+        for feature in self.schema:
+            if feature.is_numeric:
+                raw = np.asarray(table.numeric[feature.name])
+                columns.append(self._discretizers[feature.name].transform(raw))
+            else:
+                raw_values = table.categorical[feature.name]
+                columns.append(self._encoders[feature.name].transform(raw_values))
+        return Dataset(self.schema, columns, np.asarray(table.labels))
+
+    def fit_transform(self, table: RawTable) -> Dataset:
+        return self.fit(table).transform(table)
+
+    def encode_record(self, raw_values: Mapping[str, Hashable], label: int) -> Record:
+        """Encode one raw record, e.g. an online GDPR deletion request.
+
+        ``raw_values`` maps feature names to raw (undiscretised) values; the
+        result is a :class:`Record` that can be passed to
+        ``HedgeCutClassifier.unlearn``.
+        """
+        values: list[int] = []
+        for feature in self.schema:
+            if feature.name not in raw_values:
+                raise KeyError(f"record is missing feature {feature.name!r}")
+            raw = raw_values[feature.name]
+            if feature.is_numeric:
+                values.append(self._discretizers[feature.name].transform_one(float(raw)))
+            else:
+                values.append(self._encoders[feature.name].transform_one(raw))
+        return Record(values=tuple(values), label=int(label))

@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's five privacy-sensitive datasets.
+
+The paper evaluates on UCI Adult (income), a cardiovascular-disease
+dataset, the GiveMeSomeCredit dataset, the ProPublica COMPAS recidivism
+data and the UCI online-shoppers dataset (Table 1). Those files cannot be
+downloaded in this offline environment, so this package generates synthetic
+datasets with **identical schemas** -- the same row counts, numbers of
+numeric and categorical attributes and realistic positive rates -- and a
+planted, noisy rule-committee concept that tree models can learn.
+
+The experiments in the paper measure *relative* behaviour (unlearning vs
+retraining latency, ensembles vs single trees, parameter sensitivity), all
+of which are preserved under this substitution; absolute accuracies differ
+from the paper. See DESIGN.md, "Substitutions".
+"""
+
+from repro.datasets.io import read_csv, write_csv
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetInfo,
+    available_datasets,
+    dataset_info,
+    load_dataset,
+    load_raw,
+)
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "DATASETS",
+    "DatasetInfo",
+    "available_datasets",
+    "dataset_info",
+    "load_dataset",
+    "load_raw",
+]

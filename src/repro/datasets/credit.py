@@ -1,0 +1,37 @@
+"""Synthetic stand-in for the GiveMeSomeCredit dataset.
+
+Table 1 of the paper: 150,000 records with 8 numerical attributes and no
+categorical ones (1.2M data points); the target denotes whether a person
+experienced financial distress (a rare positive class in the real data).
+"""
+
+from repro.datasets.synth import (
+    DatasetSpec,
+    NumericFeature,
+    integers,
+    lognormal,
+    normal,
+    uniform,
+    zero_inflated,
+)
+
+SPEC = DatasetSpec(
+    name="credit",
+    title="Credit information",
+    default_n_rows=150_000,
+    numeric=(
+        NumericFeature("revolving_utilization", uniform(0.0, 1.3)),
+        NumericFeature("age", integers(21, 90)),
+        NumericFeature("past_due_30_59", zero_inflated(integers(1, 8), 0.84)),
+        NumericFeature("debt_ratio", lognormal(-1.0, 1.1)),
+        NumericFeature("monthly_income", lognormal(8.7, 0.7)),
+        NumericFeature("open_credit_lines", integers(0, 25)),
+        NumericFeature("past_due_90", zero_inflated(integers(1, 6), 0.93)),
+        NumericFeature("real_estate_loans", integers(0, 6)),
+    ),
+    categorical=(),
+    positive_rate=0.07,
+    n_rules=12,
+    noise_scale=0.7,
+    concept_seed=37,
+)

@@ -1,0 +1,47 @@
+"""Synthetic stand-in for the cardiovascular-disease dataset.
+
+Table 1 of the paper: 70,000 patient records, 5 numerical and 6 categorical
+measurements (770K data points); the target denotes the presence of a heart
+disease (the real dataset is nearly balanced).
+"""
+
+from repro.datasets.synth import (
+    CategoricalFeature,
+    DatasetSpec,
+    NumericFeature,
+    integers,
+    normal,
+)
+
+SPEC = DatasetSpec(
+    name="heart",
+    title="Heart disease",
+    default_n_rows=70_000,
+    numeric=(
+        NumericFeature("age_days", normal(19_500.0, 2_500.0)),
+        NumericFeature("height_cm", normal(165.0, 8.0)),
+        NumericFeature("weight_kg", normal(74.0, 14.0)),
+        NumericFeature("systolic_bp", normal(128.0, 17.0)),
+        NumericFeature("diastolic_bp", normal(82.0, 10.0)),
+    ),
+    categorical=(
+        CategoricalFeature("gender", ("female", "male"), weights=(0.65, 0.35)),
+        CategoricalFeature(
+            "cholesterol",
+            ("normal", "above_normal", "well_above_normal"),
+            weights=(0.75, 0.14, 0.11),
+        ),
+        CategoricalFeature(
+            "glucose",
+            ("normal", "above_normal", "well_above_normal"),
+            weights=(0.85, 0.07, 0.08),
+        ),
+        CategoricalFeature("smoker", ("no", "yes"), weights=(0.91, 0.09)),
+        CategoricalFeature("alcohol", ("no", "yes"), weights=(0.95, 0.05)),
+        CategoricalFeature("active", ("yes", "no"), weights=(0.80, 0.20)),
+    ),
+    positive_rate=0.50,
+    n_rules=12,
+    noise_scale=0.9,
+    concept_seed=23,
+)

@@ -1,0 +1,85 @@
+"""Synthetic stand-in for the UCI Adult income dataset.
+
+Table 1 of the paper: 32,560 records, 4 numerical and 8 categorical
+attributes (390K data points); the target denotes whether a person earns
+more than 50,000 dollars per year (roughly a quarter of the records).
+"""
+
+from repro.datasets.synth import (
+    CategoricalFeature,
+    DatasetSpec,
+    NumericFeature,
+    integers,
+    lognormal,
+    normal,
+    zero_inflated,
+)
+
+SPEC = DatasetSpec(
+    name="income",
+    title="Adult income",
+    default_n_rows=32_560,
+    numeric=(
+        NumericFeature("age", integers(17, 90)),
+        NumericFeature("hours_per_week", normal(40.0, 12.0)),
+        NumericFeature("capital_gain", zero_inflated(lognormal(8.0, 1.2), 0.9)),
+        NumericFeature("capital_loss", zero_inflated(lognormal(7.0, 0.8), 0.95)),
+    ),
+    categorical=(
+        CategoricalFeature(
+            "workclass",
+            ("private", "self_employed", "federal_gov", "state_gov", "local_gov", "unemployed"),
+            weights=(0.70, 0.11, 0.03, 0.04, 0.07, 0.05),
+        ),
+        CategoricalFeature(
+            "education",
+            (
+                "hs_grad",
+                "some_college",
+                "bachelors",
+                "masters",
+                "doctorate",
+                "assoc",
+                "below_hs",
+            ),
+            weights=(0.32, 0.22, 0.16, 0.06, 0.01, 0.08, 0.15),
+        ),
+        CategoricalFeature(
+            "marital_status",
+            ("married", "never_married", "divorced", "widowed", "separated"),
+            weights=(0.46, 0.33, 0.14, 0.03, 0.04),
+        ),
+        CategoricalFeature(
+            "occupation",
+            (
+                "prof_specialty",
+                "craft_repair",
+                "exec_managerial",
+                "adm_clerical",
+                "sales",
+                "other_service",
+                "machine_op",
+                "transport",
+            ),
+        ),
+        CategoricalFeature(
+            "relationship",
+            ("husband", "not_in_family", "own_child", "unmarried", "wife", "other"),
+        ),
+        CategoricalFeature(
+            "race",
+            ("white", "black", "asian_pac", "amer_indian", "other"),
+            weights=(0.85, 0.10, 0.03, 0.01, 0.01),
+        ),
+        CategoricalFeature("sex", ("male", "female"), weights=(0.67, 0.33)),
+        CategoricalFeature(
+            "native_region",
+            ("north_america", "latin_america", "europe", "asia", "other"),
+            weights=(0.91, 0.05, 0.02, 0.015, 0.005),
+        ),
+    ),
+    positive_rate=0.24,
+    n_rules=14,
+    noise_scale=0.8,
+    concept_seed=11,
+)

@@ -1,0 +1,91 @@
+"""CSV import/export for raw tables.
+
+The synthetic datasets stand in for the paper's public CSV files; this
+module closes the loop by writing generated tables to CSV (so users can
+inspect what the generators produce or feed them into other tools) and by
+loading external CSV files into the :class:`~repro.dataprep.pipeline.RawTable`
+format the preprocessor consumes -- which is how a user would bring the
+*real* UCI/Kaggle datasets into this library where downloads are possible.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataprep.pipeline import RawTable
+
+#: Name of the label column in exported/imported files.
+LABEL_COLUMN = "label"
+
+
+def write_csv(table: RawTable, path: str | Path) -> None:
+    """Write a raw table as CSV with a header row.
+
+    Numeric columns are written as floats, categoricals as strings, and
+    the binary label lands in a ``label`` column.
+    """
+    table.validate()
+    names = list(table.feature_names)
+    with open(path, "w", newline="") as sink:
+        writer = csv.writer(sink)
+        writer.writerow(names + [LABEL_COLUMN])
+        numeric = {name: np.asarray(column) for name, column in table.numeric.items()}
+        categorical = dict(table.categorical)
+        labels = np.asarray(table.labels)
+        for row in range(table.n_rows):
+            cells: list[object] = []
+            for name in names:
+                if name in numeric:
+                    cells.append(repr(float(numeric[name][row])))
+                else:
+                    cells.append(categorical[name][row])
+            cells.append(int(labels[row]))
+            writer.writerow(cells)
+
+
+def read_csv(
+    path: str | Path,
+    numeric_columns: Sequence[str],
+    categorical_columns: Sequence[str],
+    label_column: str = LABEL_COLUMN,
+) -> RawTable:
+    """Load a CSV file into a :class:`RawTable`.
+
+    Args:
+        path: CSV file with a header row.
+        numeric_columns: columns parsed as floats.
+        categorical_columns: columns kept as strings.
+        label_column: 0/1 label column.
+    """
+    numeric_data: dict[str, list[float]] = {name: [] for name in numeric_columns}
+    categorical_data: dict[str, list[str]] = {name: [] for name in categorical_columns}
+    labels: list[int] = []
+    with open(path, newline="") as source:
+        reader = csv.DictReader(source)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path} has no header row")
+        missing = (
+            set(numeric_columns) | set(categorical_columns) | {label_column}
+        ) - set(reader.fieldnames)
+        if missing:
+            raise ValueError(f"{path} is missing columns: {sorted(missing)}")
+        for line in reader:
+            for name in numeric_columns:
+                numeric_data[name].append(float(line[name]))
+            for name in categorical_columns:
+                categorical_data[name].append(line[name])
+            label = int(line[label_column])
+            if label not in (0, 1):
+                raise ValueError(f"label column holds non-binary value {label}")
+            labels.append(label)
+    if not labels:
+        raise ValueError(f"{path} holds no data rows")
+    return RawTable(
+        numeric={name: np.asarray(values) for name, values in numeric_data.items()},
+        categorical=categorical_data,
+        labels=np.asarray(labels, dtype=np.uint8),
+    )

@@ -1,0 +1,75 @@
+"""Synthetic stand-in for the UCI online-shoppers purchase dataset.
+
+Table 1 of the paper: 12,330 browsing sessions, 10 numerical and 7
+categorical attributes (210K data points); the target denotes whether the
+session ended in a purchase (about 15% of sessions in the real data).
+"""
+
+from repro.datasets.synth import (
+    CategoricalFeature,
+    DatasetSpec,
+    NumericFeature,
+    integers,
+    lognormal,
+    uniform,
+    zero_inflated,
+)
+
+SPEC = DatasetSpec(
+    name="purchase",
+    title="Purchase behaviour",
+    default_n_rows=12_330,
+    numeric=(
+        NumericFeature("administrative_pages", zero_inflated(integers(1, 27), 0.45)),
+        NumericFeature("administrative_duration", zero_inflated(lognormal(4.0, 1.0), 0.45)),
+        NumericFeature("informational_pages", zero_inflated(integers(1, 12), 0.78)),
+        NumericFeature("informational_duration", zero_inflated(lognormal(3.5, 1.1), 0.78)),
+        NumericFeature("product_pages", integers(1, 300)),
+        NumericFeature("product_duration", lognormal(6.2, 1.2)),
+        NumericFeature("bounce_rate", uniform(0.0, 0.2)),
+        NumericFeature("exit_rate", uniform(0.0, 0.2)),
+        NumericFeature("page_value", zero_inflated(lognormal(2.5, 1.0), 0.77)),
+        NumericFeature("special_day", zero_inflated(uniform(0.2, 1.0), 0.90)),
+    ),
+    categorical=(
+        CategoricalFeature(
+            "month",
+            ("feb", "mar", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"),
+        ),
+        CategoricalFeature(
+            "operating_system", ("windows", "macos", "linux", "android", "ios", "other")
+        ),
+        CategoricalFeature(
+            "browser_type",
+            (
+                "chrome",
+                "firefox",
+                "safari",
+                "edge",
+                "opera",
+                "samsung_internet",
+                "uc_browser",
+                "other",
+            ),
+            weights=(0.45, 0.18, 0.15, 0.10, 0.04, 0.04, 0.02, 0.02),
+        ),
+        CategoricalFeature(
+            "region",
+            tuple(f"region_{index}" for index in range(1, 10)),
+        ),
+        CategoricalFeature(
+            "traffic_type",
+            tuple(f"channel_{index}" for index in range(1, 13)),
+        ),
+        CategoricalFeature(
+            "visitor_type",
+            ("returning", "new", "other"),
+            weights=(0.85, 0.14, 0.01),
+        ),
+        CategoricalFeature("weekend", ("no", "yes"), weights=(0.77, 0.23)),
+    ),
+    positive_rate=0.15,
+    n_rules=14,
+    noise_scale=0.8,
+    concept_seed=53,
+)

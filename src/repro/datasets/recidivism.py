@@ -1,0 +1,59 @@
+"""Synthetic stand-in for the ProPublica COMPAS recidivism dataset.
+
+Table 1 of the paper: 7,214 individuals, 4 numerical and 6 categorical
+attributes (110K data points); the target denotes whether a person was
+charged with new crimes within two years.
+
+Ethical note, mirrored from the paper: this synthetic dataset exists only
+to exercise the unlearning machinery on a schema of the same shape; nothing
+here endorses automated decision-making in judicial contexts.
+"""
+
+from repro.datasets.synth import (
+    CategoricalFeature,
+    DatasetSpec,
+    NumericFeature,
+    integers,
+    zero_inflated,
+)
+
+SPEC = DatasetSpec(
+    name="recidivism",
+    title="Recidivism",
+    default_n_rows=7_214,
+    numeric=(
+        NumericFeature("age", integers(18, 75)),
+        NumericFeature("priors_count", zero_inflated(integers(1, 20), 0.35)),
+        NumericFeature("juvenile_felonies", zero_inflated(integers(1, 5), 0.90)),
+        NumericFeature("days_in_custody", zero_inflated(integers(1, 400), 0.40)),
+    ),
+    categorical=(
+        CategoricalFeature("sex", ("male", "female"), weights=(0.80, 0.20)),
+        CategoricalFeature(
+            "race",
+            ("african_american", "caucasian", "hispanic", "other"),
+            weights=(0.51, 0.34, 0.09, 0.06),
+        ),
+        CategoricalFeature(
+            "charge_degree", ("felony", "misdemeanor"), weights=(0.64, 0.36)
+        ),
+        CategoricalFeature(
+            "age_category",
+            ("under_25", "25_to_45", "over_45"),
+            weights=(0.22, 0.57, 0.21),
+        ),
+        CategoricalFeature(
+            "custody_status",
+            ("released", "probation", "jail", "prison"),
+        ),
+        CategoricalFeature(
+            "marital_status",
+            ("single", "married", "divorced", "other"),
+            weights=(0.75, 0.12, 0.08, 0.05),
+        ),
+    ),
+    positive_rate=0.45,
+    n_rules=10,
+    noise_scale=0.9,
+    concept_seed=41,
+)

@@ -1,0 +1,100 @@
+"""Registry and loading entry points for the five evaluation datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import credit, heart, income, purchase, recidivism
+from repro.datasets.synth import DatasetSpec, generate_raw
+from repro.dataprep.dataset import Dataset
+from repro.dataprep.pipeline import RawTable, TabularPreprocessor
+
+#: All dataset specifications, keyed by name, in the paper's Table 1 order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        income.SPEC,
+        heart.SPEC,
+        credit.SPEC,
+        recidivism.SPEC,
+        purchase.SPEC,
+    )
+}
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """The Table 1 row of one dataset."""
+
+    name: str
+    title: str
+    n_users: int
+    n_numeric: int
+    n_categorical: int
+    n_data_points: int
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of the five evaluation datasets."""
+    return tuple(DATASETS)
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Summary statistics of a dataset at its full (paper) size."""
+    spec = _spec(name)
+    return DatasetInfo(
+        name=spec.name,
+        title=spec.title,
+        n_users=spec.default_n_rows,
+        n_numeric=len(spec.numeric),
+        n_categorical=len(spec.categorical),
+        n_data_points=spec.n_data_points,
+    )
+
+
+def load_raw(name: str, n_rows: int | None = None, seed: int = 0) -> RawTable:
+    """Generate the raw (unencoded) table of a dataset."""
+    return generate_raw(_spec(name), n_rows=n_rows, seed=seed)
+
+
+def load_dataset(
+    name: str,
+    n_rows: int | None = None,
+    seed: int = 0,
+    n_buckets: int = 20,
+) -> Dataset:
+    """Generate and encode a dataset, ready for training.
+
+    Args:
+        name: one of :func:`available_datasets`.
+        n_rows: row count; ``None`` uses the paper's full size (Table 1).
+        seed: sampling seed (the planted concept is seed-independent).
+        n_buckets: quantile buckets for numeric features.
+    """
+    table = load_raw(name, n_rows=n_rows, seed=seed)
+    return TabularPreprocessor(n_buckets=n_buckets).fit_transform(table)
+
+
+def load_dataset_with_preprocessor(
+    name: str,
+    n_rows: int | None = None,
+    seed: int = 0,
+    n_buckets: int = 20,
+) -> tuple[Dataset, TabularPreprocessor]:
+    """Like :func:`load_dataset`, also returning the fitted preprocessor.
+
+    The preprocessor is what a serving system uses to encode raw prediction
+    and deletion requests arriving online.
+    """
+    table = load_raw(name, n_rows=n_rows, seed=seed)
+    preprocessor = TabularPreprocessor(n_buckets=n_buckets)
+    dataset = preprocessor.fit_transform(table)
+    return dataset, preprocessor
+
+
+def _spec(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; available: {known}") from None

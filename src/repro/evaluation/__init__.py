@@ -1,0 +1,19 @@
+"""Evaluation utilities: splits, metrics, timers and statistical tests."""
+
+from repro.evaluation.curves import auc_score, roc_curve
+from repro.evaluation.metrics import accuracy, confusion_counts, error_rate
+from repro.evaluation.splits import train_test_split
+from repro.evaluation.stats import RunStats, Timer, same_distribution, summarize
+
+__all__ = [
+    "auc_score",
+    "roc_curve",
+    "accuracy",
+    "error_rate",
+    "confusion_counts",
+    "train_test_split",
+    "RunStats",
+    "Timer",
+    "summarize",
+    "same_distribution",
+]

@@ -1,0 +1,70 @@
+"""Ranking metrics: ROC curve and AUC from soft predictions.
+
+HedgeCut's ``predict_proba`` yields a positive-class score per record;
+these helpers evaluate its ranking quality, complementing the accuracy
+numbers the paper reports. Pure-numpy implementations (no sklearn in this
+environment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """Receiver-operating-characteristic points, threshold-sorted.
+
+    Attributes:
+        false_positive_rate: monotone non-decreasing FPR values, starting
+            at 0 and ending at 1.
+        true_positive_rate: matching TPR values.
+        thresholds: score thresholds producing each point (descending),
+            aligned with the interior points.
+    """
+
+    false_positive_rate: np.ndarray
+    true_positive_rate: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve via the trapezoid rule."""
+        return float(np.trapezoid(self.true_positive_rate, self.false_positive_rate))
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> RocCurve:
+    """Compute the ROC curve of scores against binary labels."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same shape")
+    n_positive = int(np.count_nonzero(labels == 1))
+    n_negative = labels.shape[0] - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("ROC needs both classes present")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    true_positives = np.cumsum(sorted_labels == 1)
+    false_positives = np.cumsum(sorted_labels == 0)
+    # Collapse ties: keep only the last index of each distinct score.
+    distinct = np.append(np.diff(sorted_scores) != 0, True)
+    true_positives = true_positives[distinct]
+    false_positives = false_positives[distinct]
+    thresholds = sorted_scores[distinct]
+
+    tpr = np.concatenate([[0.0], true_positives / n_positive])
+    fpr = np.concatenate([[0.0], false_positives / n_negative])
+    return RocCurve(
+        false_positive_rate=fpr, true_positive_rate=tpr, thresholds=thresholds
+    )
+
+
+def auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (equals the rank-sum statistic)."""
+    return roc_curve(scores, labels).auc

@@ -1,0 +1,68 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    predicted = np.asarray(predicted)
+    actual = np.asarray(actual)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predicted.shape}, labels {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    return float(np.mean(predicted == actual))
+
+
+def error_rate(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy(predicted, actual)
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def n(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+
+def confusion_counts(predicted: np.ndarray, actual: np.ndarray) -> ConfusionCounts:
+    """Compute the binary confusion matrix."""
+    predicted = np.asarray(predicted).astype(bool)
+    actual = np.asarray(actual).astype(bool)
+    if predicted.shape != actual.shape:
+        raise ValueError("shape mismatch between predictions and labels")
+    return ConfusionCounts(
+        true_positive=int(np.count_nonzero(predicted & actual)),
+        false_positive=int(np.count_nonzero(predicted & ~actual)),
+        true_negative=int(np.count_nonzero(~predicted & ~actual)),
+        false_negative=int(np.count_nonzero(~predicted & actual)),
+    )

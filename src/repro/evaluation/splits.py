@@ -1,0 +1,31 @@
+"""Train/test splitting of encoded datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataprep.dataset import Dataset
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int | None = None
+) -> tuple[Dataset, Dataset]:
+    """Randomly split a dataset into train and held-out test parts.
+
+    The paper evaluates on a randomly chosen held-out set of 20% of the
+    records (Section 6.1).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n_rows = dataset.n_rows
+    n_test = int(round(n_rows * test_fraction))
+    if n_test == 0 or n_test == n_rows:
+        raise ValueError(
+            f"test_fraction {test_fraction} leaves an empty split for "
+            f"{n_rows} rows"
+        )
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n_rows)
+    test_rows = permutation[:n_test]
+    train_rows = permutation[n_test:]
+    return dataset.take(train_rows), dataset.take(test_rows)

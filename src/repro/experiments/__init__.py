@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes a ``run(config)`` function returning a result object
+with a ``format_table()`` method that prints the same rows/series the paper
+reports. The ``benchmarks/`` suite and the ``hedgecut-experiments`` CLI are
+thin wrappers over these drivers.
+
+| Driver                          | Reproduces                               |
+|---------------------------------|------------------------------------------|
+| :mod:`repro.experiments.table1` | Table 1 (dataset statistics)             |
+| :mod:`repro.experiments.greedy_validation` | Section 4.2 greedy-vs-oracle  |
+| :mod:`repro.experiments.figure3`| Figure 3 (unlearning vs retraining time) |
+| :mod:`repro.experiments.table2` | Table 2 (throughput with unlearning)     |
+| :mod:`repro.experiments.figure4a`| Figure 4(a) (unlearn vs retrain accuracy)|
+| :mod:`repro.experiments.figure4b`| Figure 4(b) (accuracy vs baselines)     |
+| :mod:`repro.experiments.figure4c`| Figure 4(c) (training time)             |
+| :mod:`repro.experiments.vectorisation` | Section 6.4.2 (scan kernels)      |
+| :mod:`repro.experiments.figure5`| Figure 5 (B and epsilon sensitivity)     |
+| :mod:`repro.experiments.figure6`| Figure 6 (tree structure, split switches)|
+
+All drivers accept an :class:`~repro.experiments.config.ExperimentConfig`
+that scales the workloads down from the paper's full sizes, because the
+substrate here is pure Python rather than multi-threaded Rust; shapes and
+orderings are preserved at any scale.
+"""
+
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,161 @@
+"""Command-line entry point for the experiment drivers.
+
+Examples::
+
+    hedgecut-experiments table1
+    hedgecut-experiments figure3 --scale 0.05 --trees 20 --repeats 3
+    hedgecut-experiments all --scale 0.02
+    hedgecut-experiments figure5b --datasets income heart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.datasets.registry import available_datasets
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4a,
+    figure4b,
+    figure4c,
+    figure5,
+    figure6,
+    greedy_validation,
+    table1,
+    table2,
+    vectorisation,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+def _render(result) -> str:
+    """Format a driver result: its table plus, when available, the ASCII
+    rendering of the corresponding paper figure."""
+    parts = [result.format_table()]
+    figure = getattr(result, "format_figure", None)
+    if figure is not None:
+        parts.append("")
+        parts.append(figure())
+    return "\n".join(parts)
+
+
+def _run_table1(config: ExperimentConfig) -> str:
+    return table1.dataset_statistics().format_table()
+
+
+def _run_greedy(config: ExperimentConfig) -> str:
+    return greedy_validation.run(seed=config.seed).format_table()
+
+
+def _run_figure1(config: ExperimentConfig) -> str:
+    return figure1.run(config).format_table()
+
+
+def _run_figure3(config: ExperimentConfig) -> str:
+    return _render(figure3.run(config))
+
+
+def _run_table2(config: ExperimentConfig) -> str:
+    return table2.run(config).format_table()
+
+
+def _run_figure4a(config: ExperimentConfig) -> str:
+    return figure4a.run(config).format_table()
+
+
+def _run_figure4b(config: ExperimentConfig) -> str:
+    return _render(figure4b.run(config))
+
+
+def _run_figure4c(config: ExperimentConfig) -> str:
+    return _render(figure4c.run(config))
+
+
+def _run_vectorisation(config: ExperimentConfig) -> str:
+    return vectorisation.run(seed=config.seed).format_table()
+
+
+def _run_figure5ab(config: ExperimentConfig) -> str:
+    return _render(figure5.run_b_sweep(config))
+
+
+def _run_figure5cd(config: ExperimentConfig) -> str:
+    return _render(figure5.run_epsilon_sweep(config))
+
+
+def _run_figure6a(config: ExperimentConfig) -> str:
+    return figure6.run_non_robust_fraction(config).format_table()
+
+
+def _run_figure6b(config: ExperimentConfig) -> str:
+    return figure6.run_split_switches(config).format_table()
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig], str]] = {
+    "table1": _run_table1,
+    "greedy-validation": _run_greedy,
+    "figure1": _run_figure1,
+    "figure3": _run_figure3,
+    "table2": _run_table2,
+    "figure4a": _run_figure4a,
+    "figure4b": _run_figure4b,
+    "figure4c": _run_figure4c,
+    "vectorisation": _run_vectorisation,
+    "figure5ab": _run_figure5ab,
+    "figure5cd": _run_figure5cd,
+    "figure6a": _run_figure6a,
+    "figure6b": _run_figure6b,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hedgecut-experiments",
+        description="Regenerate the tables and figures of the HedgeCut paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="fraction of the paper's dataset sizes to use (1.0 = full scale)",
+    )
+    parser.add_argument("--trees", type=int, default=8, help="ensemble size")
+    parser.add_argument("--repeats", type=int, default=3, help="runs per measurement")
+    parser.add_argument("--seed", type=int, default=42, help="base random seed")
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=available_datasets(),
+        default=None,
+        help="subset of datasets (default: all five)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        scale=args.scale,
+        n_trees=args.trees,
+        repeats=args.repeats,
+        seed=args.seed,
+        datasets=tuple(args.datasets) if args.datasets else available_datasets(),
+    )
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"== {name} ==", flush=True)
+        print(EXPERIMENTS[name](config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

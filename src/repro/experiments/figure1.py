@@ -1,0 +1,81 @@
+"""Figure 1 / Section 1: the deployment contrast HedgeCut exists for.
+
+One GDPR deletion request served two ways:
+
+* through the five-stage retrain-and-redeploy pipeline (provision, load,
+  retrain, validate, canary, traffic switch) -- the retraining stage runs
+  for real, the operational stages use the conservative simulated costs of
+  :class:`~repro.serving.pipeline.PipelineCosts`;
+* as one in-place ``unlearn`` call against the deployed HedgeCut model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines.forest import RandomForestClassifier
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import make_hedgecut, prepare
+from repro.serving.pipeline import (
+    DeploymentReport,
+    ModelRegistry,
+    PipelineCosts,
+    RetrainingPipeline,
+)
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    dataset: str
+    pipeline_report: DeploymentReport
+    inplace_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.pipeline_report.total_seconds / self.inplace_seconds
+
+    def format_table(self) -> str:
+        lines = [
+            f"Figure 1: serving one GDPR deletion request ({self.dataset})",
+            "",
+            "via the retrain-and-redeploy pipeline:",
+            self.pipeline_report.format_summary(),
+            "",
+            "via in-place unlearning:",
+            f"  unlearn            {self.inplace_seconds:>9.6f}s (measured)",
+            "",
+            f"difference: {self.speedup:,.0f}x",
+        ]
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig, dataset_name: str | None = None) -> Figure1Result:
+    """Serve one deletion request both ways and compare end-to-end cost."""
+    name = dataset_name or config.datasets[0]
+    data = prepare(config, name, run_index=0)
+    seed = config.run_seed(0, salt=29)
+
+    pipeline = RetrainingPipeline(
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=config.n_trees, seed=seed
+        ),
+        registry=ModelRegistry(),
+        costs=PipelineCosts(simulate_delays=False),
+    )
+    pipeline_report = pipeline.serve_deletion_request(data.train, data.test, [0])
+
+    deployed = make_hedgecut(config, seed)
+    deployed.fit(data.train)
+    # Average a handful of unlearn calls for a stable in-place figure.
+    n_calls = min(10, data.train.n_rows - 1)
+    start = time.perf_counter()
+    for row in range(1, 1 + n_calls):
+        deployed.unlearn(data.train.record(row), allow_budget_overrun=True)
+    inplace_seconds = (time.perf_counter() - start) / n_calls
+
+    return Figure1Result(
+        dataset=name,
+        pipeline_report=pipeline_report,
+        inplace_seconds=inplace_seconds,
+    )

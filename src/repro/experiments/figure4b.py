@@ -1,0 +1,95 @@
+"""Figure 4(b): out-of-the-box accuracy of HedgeCut vs the baselines.
+
+The paper's finding: the three ensemble methods (Random Forest, ERT,
+HedgeCut) beat the single decision tree, with ERT and HedgeCut on par and
+slightly ahead of Random Forest -- HedgeCut can serve as a drop-in
+replacement where those classifiers are deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.metrics import accuracy
+from repro.evaluation.stats import RunStats, summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import BASELINE_NAMES, make_baseline, make_hedgecut, prepare
+
+#: Model identifiers in the order Figure 4(b) lists them.
+MODEL_NAMES = (*BASELINE_NAMES, "hedgecut")
+
+
+@dataclass(frozen=True)
+class Figure4bRow:
+    dataset: str
+    accuracies: dict[str, RunStats]
+
+    def ensemble_beats_single_tree(self) -> bool:
+        """The paper's headline ordering for this figure."""
+        single = self.accuracies["decision tree"].mean
+        return all(
+            self.accuracies[name].mean >= single
+            for name in ("random forest", "ert", "hedgecut")
+        )
+
+
+@dataclass(frozen=True)
+class Figure4bResult:
+    rows: tuple[Figure4bRow, ...]
+
+    def format_figure(self) -> str:
+        """Render the accuracy bar chart of Figure 4(b)."""
+        from repro.experiments.figures import grouped_bars
+
+        groups = {
+            row.dataset: {name: row.accuracies[name].mean for name in MODEL_NAMES}
+            for row in self.rows
+        }
+        return grouped_bars(
+            groups, title="Figure 4(b): test accuracy per model", unit=""
+        )
+
+    def format_table(self) -> str:
+        return format_table(
+            headers=("dataset", *MODEL_NAMES),
+            rows=[
+                (
+                    row.dataset,
+                    *(row.accuracies[name].format(3) for name in MODEL_NAMES),
+                )
+                for row in self.rows
+            ],
+            title="Figure 4(b): test accuracy of HedgeCut and the baselines",
+        )
+
+
+def run(config: ExperimentConfig) -> Figure4bResult:
+    """Train every model on every dataset and compare test accuracies."""
+    rows = []
+    for dataset_name in config.datasets:
+        samples: dict[str, list[float]] = {name: [] for name in MODEL_NAMES}
+        for run_index in range(config.repeats):
+            data = prepare(config, dataset_name, run_index)
+            seed = config.run_seed(run_index, salt=11)
+
+            for name in BASELINE_NAMES:
+                baseline = make_baseline(name, config, seed)
+                baseline.fit(data.train)
+                samples[name].append(
+                    accuracy(baseline.predict_batch(data.test), data.test.labels)
+                )
+
+            model = make_hedgecut(config, seed)
+            model.fit(data.train)
+            samples["hedgecut"].append(
+                accuracy(model.predict_batch(data.test), data.test.labels)
+            )
+
+        rows.append(
+            Figure4bRow(
+                dataset=dataset_name,
+                accuracies={name: summarize(values) for name, values in samples.items()},
+            )
+        )
+    return Figure4bResult(rows=tuple(rows))

@@ -1,0 +1,87 @@
+"""Figure 4(c): training time of HedgeCut vs the baselines.
+
+The paper's finding: the single decision tree trains fastest (but loses on
+accuracy); among the ensembles, ERT and HedgeCut beat Random Forest, and
+HedgeCut beats ERT on four of five datasets despite the extra robustness
+work. This reproduction compares the same algorithms implemented on the
+same (numpy) substrate, so the ensemble-vs-single-tree and ERT-vs-RF
+orderings carry over; HedgeCut pays its robustness overhead in Python
+rather than SIMD Rust, so its position relative to plain ERT is the one
+shape most sensitive to the substrate (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.stats import RunStats, Timer, summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import BASELINE_NAMES, make_baseline, make_hedgecut, prepare
+
+MODEL_NAMES = (*BASELINE_NAMES, "hedgecut")
+
+
+@dataclass(frozen=True)
+class Figure4cRow:
+    dataset: str
+    training_ms: dict[str, RunStats]
+
+
+@dataclass(frozen=True)
+class Figure4cResult:
+    rows: tuple[Figure4cRow, ...]
+
+    def format_figure(self) -> str:
+        """Render the training-time bar chart of Figure 4(c)."""
+        from repro.experiments.figures import grouped_bars
+
+        groups = {
+            row.dataset: {name: row.training_ms[name].mean for name in MODEL_NAMES}
+            for row in self.rows
+        }
+        return grouped_bars(
+            groups, title="Figure 4(c): training time per model (ms)", unit=" ms"
+        )
+
+    def format_table(self) -> str:
+        return format_table(
+            headers=("dataset", *(f"{name} (ms)" for name in MODEL_NAMES)),
+            rows=[
+                (
+                    row.dataset,
+                    *(row.training_ms[name].format(0) for name in MODEL_NAMES),
+                )
+                for row in self.rows
+            ],
+            title="Figure 4(c): training time of HedgeCut and the baselines",
+        )
+
+
+def run(config: ExperimentConfig) -> Figure4cResult:
+    """Measure training wall-clock time for every model and dataset."""
+    rows = []
+    for dataset_name in config.datasets:
+        samples: dict[str, list[float]] = {name: [] for name in MODEL_NAMES}
+        for run_index in range(config.repeats):
+            data = prepare(config, dataset_name, run_index)
+            seed = config.run_seed(run_index, salt=13)
+
+            for name in BASELINE_NAMES:
+                baseline = make_baseline(name, config, seed)
+                with Timer() as timer:
+                    baseline.fit(data.train)
+                samples[name].append(timer.milliseconds)
+
+            model = make_hedgecut(config, seed)
+            with Timer() as timer:
+                model.fit(data.train)
+            samples["hedgecut"].append(timer.milliseconds)
+
+        rows.append(
+            Figure4cRow(
+                dataset=dataset_name,
+                training_ms={name: summarize(values) for name, values in samples.items()},
+            )
+        )
+    return Figure4cResult(rows=tuple(rows))

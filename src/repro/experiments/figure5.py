@@ -1,0 +1,147 @@
+"""Figure 5: sensitivity of HedgeCut to ``B`` and ``ε``.
+
+Four panels (Section 6.5):
+
+* (a) accuracy vs the maximum number of tries per split ``B`` -- small
+  values (``B < 10``) give slightly higher accuracy, large values force
+  more robust but lower-quality splits;
+* (b) training time vs ``B``, relative to ``B = 1`` -- a sweet spot at
+  ``B = 5``;
+* (c) accuracy vs the unlearnable fraction ``ε`` -- flat, as ``ε`` only
+  adds subtree variants;
+* (d) training time vs ``ε``, relative to ``ε = 0.01%`` -- grows with
+  ``ε``, mildly up to 0.1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.metrics import accuracy
+from repro.evaluation.stats import RunStats, Timer, summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import make_hedgecut, prepare
+
+#: Paper sweep values. Figure 5(a)/(b) vary B between 1 and 100; Figure
+#: 5(c)/(d) vary epsilon between 0.01% and 2%.
+B_VALUES = (1, 5, 50, 100)
+EPSILON_VALUES = (0.0001, 0.005, 0.01, 0.02)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (dataset, parameter value) measurement."""
+
+    dataset: str
+    value: float
+    accuracy: RunStats
+    training_ms: RunStats
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    parameter: str
+    points: tuple[SweepPoint, ...]
+
+    def for_dataset(self, dataset: str) -> tuple[SweepPoint, ...]:
+        return tuple(point for point in self.points if point.dataset == dataset)
+
+    def relative_runtime(self, dataset: str) -> dict[float, float]:
+        """Training time relative to the smallest parameter value."""
+        points = self.for_dataset(dataset)
+        baseline = points[0].training_ms.mean
+        return {point.value: point.training_ms.mean / baseline for point in points}
+
+    def format_figure(self) -> str:
+        """Render the accuracy panel as a Figure 5-style line chart."""
+        from repro.experiments.figures import line_series
+
+        datasets = sorted({point.dataset for point in self.points})
+        series = {
+            dataset: [
+                (point.value, point.accuracy.mean)
+                for point in self.for_dataset(dataset)
+            ]
+            for dataset in datasets
+        }
+        return line_series(
+            series,
+            title=f"Figure 5: accuracy vs {self.parameter}",
+            y_label="accuracy",
+        )
+
+    def format_table(self) -> str:
+        datasets = sorted({point.dataset for point in self.points})
+        rows = []
+        for dataset in datasets:
+            for point in self.for_dataset(dataset):
+                relative = self.relative_runtime(dataset)[point.value]
+                rows.append(
+                    (
+                        dataset,
+                        point.value,
+                        point.accuracy.format(3),
+                        point.training_ms.format(0),
+                        f"{relative:.2f}x",
+                    )
+                )
+        return format_table(
+            headers=(
+                "dataset",
+                self.parameter,
+                "accuracy",
+                "training (ms)",
+                "relative runtime",
+            ),
+            rows=rows,
+            title=f"Figure 5: sensitivity to {self.parameter}",
+        )
+
+
+def _sweep(
+    config: ExperimentConfig, parameter: str, values: tuple[float, ...]
+) -> SweepResult:
+    points = []
+    for dataset_name in config.datasets:
+        for value in values:
+            accuracies: list[float] = []
+            timings: list[float] = []
+            for run_index in range(config.repeats):
+                data = prepare(config, dataset_name, run_index)
+                seed = config.run_seed(run_index, salt=17)
+                if parameter == "B":
+                    model = make_hedgecut(
+                        config, seed, max_tries_per_split=int(value)
+                    )
+                else:
+                    model = make_hedgecut(config, seed, epsilon=value)
+                with Timer() as timer:
+                    model.fit(data.train)
+                timings.append(timer.milliseconds)
+                accuracies.append(
+                    accuracy(model.predict_batch(data.test), data.test.labels)
+                )
+            points.append(
+                SweepPoint(
+                    dataset=dataset_name,
+                    value=value,
+                    accuracy=summarize(accuracies),
+                    training_ms=summarize(timings),
+                )
+            )
+    return SweepResult(parameter=parameter, points=tuple(points))
+
+
+def run_b_sweep(
+    config: ExperimentConfig, values: tuple[int, ...] = B_VALUES
+) -> SweepResult:
+    """Figures 5(a) and 5(b): accuracy and runtime vs ``B``."""
+    return _sweep(config, "B", tuple(float(value) for value in values))
+
+
+def run_epsilon_sweep(
+    config: ExperimentConfig, values: tuple[float, ...] = EPSILON_VALUES
+) -> SweepResult:
+    """Figures 5(c) and 5(d): accuracy and runtime vs ``ε``."""
+    return _sweep(config, "epsilon", values)

@@ -1,0 +1,153 @@
+"""Figure 6: tree structure under ``ε`` and split switches under unlearning.
+
+Two panels (Section 6.5):
+
+* (a) the fraction of non-robust (maintenance) nodes versus the unlearnable
+  fraction ``ε`` -- dataset dependent, below 2% in most cases, with the
+  overall node count growing with ``ε``;
+* (b) the mean number of split switches (active-variant changes) per tree
+  during a full ``0.1%`` unlearning campaign, versus the minimum leaf
+  size -- fewer than one switch per tree on average, decreasing as leaves
+  grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.stats import RunStats, summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import make_hedgecut, prepare
+
+EPSILON_VALUES = (0.0001, 0.005, 0.01, 0.02)
+LEAF_SIZES = (2, 8, 32, 128)
+
+
+@dataclass(frozen=True)
+class NonRobustPoint:
+    dataset: str
+    epsilon: float
+    non_robust_fraction: RunStats
+    total_nodes: RunStats
+
+
+@dataclass(frozen=True)
+class NonRobustResult:
+    points: tuple[NonRobustPoint, ...]
+
+    def node_growth(self, dataset: str) -> dict[float, float]:
+        """Node count relative to the smallest ``ε`` (the Fig. 6(a) text)."""
+        points = [point for point in self.points if point.dataset == dataset]
+        baseline = points[0].total_nodes.mean
+        return {point.epsilon: point.total_nodes.mean / baseline for point in points}
+
+    def format_table(self) -> str:
+        rows = []
+        for point in self.points:
+            growth = self.node_growth(point.dataset)[point.epsilon]
+            rows.append(
+                (
+                    point.dataset,
+                    f"{point.epsilon:.2%}",
+                    f"{point.non_robust_fraction.mean:.2%}",
+                    f"{point.total_nodes.mean:.0f}",
+                    f"{growth:.2f}x",
+                )
+            )
+        return format_table(
+            headers=("dataset", "epsilon", "non-robust nodes", "total nodes", "node growth"),
+            rows=rows,
+            title="Figure 6(a): fraction of non-robust nodes vs unlearnable fraction",
+        )
+
+
+@dataclass(frozen=True)
+class SwitchPoint:
+    dataset: str
+    min_leaf_size: int
+    switches_per_tree: RunStats
+
+
+@dataclass(frozen=True)
+class SwitchResult:
+    points: tuple[SwitchPoint, ...]
+
+    def format_table(self) -> str:
+        return format_table(
+            headers=("dataset", "min leaf size", "mean split switches per tree"),
+            rows=[
+                (
+                    point.dataset,
+                    point.min_leaf_size,
+                    point.switches_per_tree.format(3),
+                )
+                for point in self.points
+            ],
+            title="Figure 6(b): split switches per tree during a 0.1% unlearning campaign",
+        )
+
+
+def run_non_robust_fraction(
+    config: ExperimentConfig, epsilons: tuple[float, ...] = EPSILON_VALUES
+) -> NonRobustResult:
+    """Figure 6(a): structure statistics per ``ε``."""
+    points = []
+    for dataset_name in config.datasets:
+        for epsilon in epsilons:
+            fractions: list[float] = []
+            totals: list[float] = []
+            for run_index in range(config.repeats):
+                data = prepare(config, dataset_name, run_index)
+                seed = config.run_seed(run_index, salt=19)
+                model = make_hedgecut(config, seed, epsilon=epsilon)
+                model.fit(data.train)
+                structure = model.node_census()
+                fractions.append(structure.non_robust_fraction)
+                totals.append(float(structure.n_nodes))
+            points.append(
+                NonRobustPoint(
+                    dataset=dataset_name,
+                    epsilon=epsilon,
+                    non_robust_fraction=summarize(fractions),
+                    total_nodes=summarize(totals),
+                )
+            )
+    return NonRobustResult(points=tuple(points))
+
+
+def run_split_switches(
+    config: ExperimentConfig,
+    leaf_sizes: tuple[int, ...] = LEAF_SIZES,
+    unlearn_fraction: float = 0.001,
+) -> SwitchResult:
+    """Figure 6(b): variant switches per tree while unlearning 0.1%."""
+    points = []
+    for dataset_name in config.datasets:
+        for leaf_size in leaf_sizes:
+            switch_rates: list[float] = []
+            for run_index in range(config.repeats):
+                data = prepare(config, dataset_name, run_index)
+                seed = config.run_seed(run_index, salt=23)
+                model = make_hedgecut(config, seed, min_leaf_size=leaf_size)
+                model.fit(data.train)
+                rng = np.random.default_rng(seed)
+                n_remove = max(1, int(round(data.train.n_rows * unlearn_fraction)))
+                removed = rng.choice(data.train.n_rows, size=n_remove, replace=False)
+                switches = 0
+                for row in removed:
+                    report = model.unlearn(
+                        data.train.record(int(row)), allow_budget_overrun=True
+                    )
+                    switches += report.variant_switches
+                switch_rates.append(switches / config.n_trees)
+            points.append(
+                SwitchPoint(
+                    dataset=dataset_name,
+                    min_leaf_size=leaf_size,
+                    switches_per_tree=summarize(switch_rates),
+                )
+            )
+    return SwitchResult(points=tuple(points))

@@ -1,0 +1,120 @@
+"""ASCII rendering of the paper's figures.
+
+The paper presents most results as bar charts (Figures 3, 4) and line
+series (Figures 5, 6). The drivers in this package return structured
+results; this module renders them as terminal-friendly charts so that
+``hedgecut-experiments`` output mirrors the figures, not just their
+underlying numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 42
+
+
+def horizontal_bars(
+    values: Mapping[str, float],
+    title: str | None = None,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Render labelled values as horizontal bars.
+
+    Args:
+        values: label -> value (values must be non-negative).
+        title: optional heading line.
+        unit: printed after each value.
+        log_scale: scale bars by log10 (Figure 3 plots on a log axis).
+    """
+    if not values:
+        raise ValueError("no values to plot")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar values must be non-negative")
+
+    def magnitude(value: float) -> float:
+        if not log_scale:
+            return value
+        return math.log10(value + 1.0)
+
+    peak = max(magnitude(value) for value in values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = int(round(BAR_WIDTH * magnitude(value) / peak))
+        bar = "#" * max(filled, 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(BAR_WIDTH)}| {value:,.1f}{unit}")
+    if log_scale:
+        lines.append(f"{'':{label_width}}  (log scale)")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Render one bar block per group (e.g. per dataset), Figure 3/4 style."""
+    blocks = []
+    if title:
+        blocks.append(title)
+    for group, values in groups.items():
+        blocks.append(f"-- {group} --")
+        blocks.append(horizontal_bars(values, unit=unit, log_scale=log_scale))
+    return "\n".join(blocks)
+
+
+def line_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    y_label: str = "",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; x positions are mapped by rank over
+    the union of x values (the paper's sensitivity sweeps use categorical
+    x axes like B in {1, 5, 50, 100}).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "ox+*#@%&"
+    xs = sorted({x for points in series.values() for x, _ in points})
+    ys = [y for points in series.values() for _, y in points]
+    y_min, y_max = min(ys), max(ys)
+    spread = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    column_of = {
+        x: int(round(index * (width - 1) / max(1, len(xs) - 1)))
+        for index, x in enumerate(xs)
+    }
+    for (name, points), marker in zip(series.items(), markers):
+        for x, y in points:
+            row = height - 1 - int(round((y - y_min) / spread * (height - 1)))
+            grid[row][column_of[x]] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_max:>10.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.3f} +" + "".join(grid[-1]))
+    axis = [" "] * width
+    for x in xs:
+        label = f"{x:g}"
+        start = min(column_of[x], width - len(label))
+        for offset, char in enumerate(label):
+            axis[start + offset] = char
+    lines.append(" " * 12 + "".join(axis))
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Table 1: summary statistics of the five evaluation datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import DatasetInfo, available_datasets, dataset_info
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The regenerated Table 1."""
+
+    rows: tuple[DatasetInfo, ...]
+
+    def format_table(self) -> str:
+        return format_table(
+            headers=("dataset", "#users", "#num", "#cat", "#data points"),
+            rows=[
+                (
+                    info.title.lower(),
+                    f"{info.n_users:,}",
+                    info.n_numeric,
+                    info.n_categorical if info.n_categorical else "-",
+                    _humanize(info.n_data_points),
+                )
+                for info in self.rows
+            ],
+            title="Table 1: dataset statistics",
+        )
+
+
+def dataset_statistics() -> Table1Result:
+    """Regenerate Table 1 from the dataset registry."""
+    return Table1Result(rows=tuple(dataset_info(name) for name in available_datasets()))
+
+
+def _humanize(count: int) -> str:
+    if count >= 1_000_000:
+        return f"{count / 1_000_000:.1f}M"
+    return f"{count // 1_000}K"

@@ -1,0 +1,35 @@
+"""Model-serving simulator (the deployment context of Figure 1).
+
+The paper's motivation is that unlearning must happen *inside* the serving
+system, at latencies comparable to prediction requests, instead of through
+heavyweight retraining pipelines. This package simulates that serving
+system: a single-node request loop that answers online prediction requests
+and, optionally, interleaves online GDPR deletion (unlearning) requests,
+measuring throughput and latency percentiles. It drives the Table 2
+experiment (prediction throughput with and without mixed-in unlearning).
+"""
+
+from repro.serving.audit import AuditedUnlearner, AuditEntry
+from repro.serving.pipeline import (
+    DeploymentReport,
+    ModelRegistry,
+    PipelineCosts,
+    RetrainingPipeline,
+)
+from repro.serving.simulator import (
+    RequestMix,
+    ServingSimulator,
+    ThroughputReport,
+)
+
+__all__ = [
+    "AuditedUnlearner",
+    "AuditEntry",
+    "RequestMix",
+    "ServingSimulator",
+    "ThroughputReport",
+    "RetrainingPipeline",
+    "ModelRegistry",
+    "PipelineCosts",
+    "DeploymentReport",
+]

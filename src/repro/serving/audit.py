@@ -1,0 +1,125 @@
+"""Audit logging for unlearning requests.
+
+GDPR compliance is not only about *doing* the erasure but about being able
+to *evidence* it (Article 5(2), accountability). This module wraps a
+deployed model with an audit trail: every deletion request is recorded
+with its outcome, timing and the model-maintenance counters from the
+:class:`~repro.core.unlearning.UnlearningReport`, and the log can be
+persisted as JSON lines for retention.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.exceptions import HedgeCutError
+from repro.dataprep.dataset import Record
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One processed deletion request."""
+
+    request_id: str
+    timestamp: float
+    succeeded: bool
+    latency_us: float
+    leaves_updated: int = 0
+    variant_switches: int = 0
+    error: str | None = None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "AuditEntry":
+        return cls(**json.loads(line))
+
+
+@dataclass
+class AuditedUnlearner:
+    """A deployed model plus an append-only deletion audit trail.
+
+    The wrapper never swallows model errors silently: failed requests are
+    recorded with their reason and re-raised flagged by ``strict`` (default
+    off, because a serving loop usually answers the caller instead of
+    crashing).
+    """
+
+    model: HedgeCutClassifier
+    strict: bool = False
+    entries: list[AuditEntry] = field(default_factory=list)
+
+    def unlearn(
+        self, request_id: str, record: Record, allow_budget_overrun: bool = False
+    ) -> AuditEntry:
+        """Apply one deletion request and record the outcome."""
+        start = time.perf_counter()
+        try:
+            report = self.model.unlearn(
+                record, allow_budget_overrun=allow_budget_overrun
+            )
+        except HedgeCutError as error:
+            entry = AuditEntry(
+                request_id=request_id,
+                timestamp=time.time(),
+                succeeded=False,
+                latency_us=(time.perf_counter() - start) * 1e6,
+                error=str(error),
+            )
+            self.entries.append(entry)
+            if self.strict:
+                raise
+            return entry
+        entry = AuditEntry(
+            request_id=request_id,
+            timestamp=time.time(),
+            succeeded=True,
+            latency_us=(time.perf_counter() - start) * 1e6,
+            leaves_updated=report.leaves_updated,
+            variant_switches=report.variant_switches,
+        )
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_succeeded(self) -> int:
+        return sum(entry.succeeded for entry in self.entries)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.entries) - self.n_succeeded
+
+    def failures(self) -> Iterator[AuditEntry]:
+        return (entry for entry in self.entries if not entry.succeeded)
+
+    def evidence_for(self, request_id: str) -> AuditEntry:
+        """The accountability lookup: what happened to a given request."""
+        for entry in self.entries:
+            if entry.request_id == request_id:
+                return entry
+        raise KeyError(f"no audit entry for request {request_id!r}")
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def write_log(self, path: str | Path) -> None:
+        """Persist the trail as JSON lines (one entry per line)."""
+        with open(path, "w") as sink:
+            for entry in self.entries:
+                sink.write(entry.to_json() + "\n")
+
+    @staticmethod
+    def read_log(path: str | Path) -> list[AuditEntry]:
+        with open(path) as source:
+            return [AuditEntry.from_json(line) for line in source if line.strip()]

@@ -1,0 +1,151 @@
+"""Single-node serving loop mixing prediction and unlearning requests."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.dataprep.dataset import Dataset, Record
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Workload composition for one simulator run.
+
+    Attributes:
+        n_requests: total number of requests issued.
+        unlearn_fraction: fraction of requests replaced by unlearning
+            requests (the paper mixes in deletion requests for 0.1% of the
+            training records by replacing randomly selected prediction
+            requests, Section 6.2.2).
+    """
+
+    n_requests: int
+    unlearn_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be positive")
+        if not 0.0 <= self.unlearn_fraction < 1.0:
+            raise ValueError("unlearn_fraction must be in [0, 1)")
+
+
+@dataclass
+class ThroughputReport:
+    """Measurements of one serving-simulator run."""
+
+    n_predictions: int
+    n_unlearnings: int
+    total_seconds: float
+    prediction_latencies_us: list[float] = field(default_factory=list)
+    unlearning_latencies_us: list[float] = field(default_factory=list)
+
+    @property
+    def requests_per_second(self) -> float:
+        total = self.n_predictions + self.n_unlearnings
+        return total / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    @property
+    def predictions_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.n_predictions / self.total_seconds
+
+    def latency_percentile(self, percentile: float, kind: str = "prediction") -> float:
+        """Latency percentile in microseconds for one request kind."""
+        samples = (
+            self.prediction_latencies_us
+            if kind == "prediction"
+            else self.unlearning_latencies_us
+        )
+        if not samples:
+            raise ValueError(f"no {kind} latencies were recorded")
+        return float(np.percentile(np.asarray(samples), percentile))
+
+
+class ServingSimulator:
+    """Drives a deployed HedgeCut model with a mixed online workload.
+
+    Args:
+        model: a fitted classifier (the "deployed model").
+        prediction_pool: records predictions are drawn from (the test set).
+        unlearn_pool: training records available for deletion requests;
+            each is unlearned at most once per run.
+        seed: request-schedule randomness.
+        record_latencies: collect per-request latencies (adds measurement
+            overhead; throughput experiments disable it).
+    """
+
+    def __init__(
+        self,
+        model: HedgeCutClassifier,
+        prediction_pool: Dataset,
+        unlearn_pool: list[Record] | None = None,
+        seed: int | None = None,
+        record_latencies: bool = False,
+    ) -> None:
+        if prediction_pool.n_rows == 0:
+            raise ValueError("prediction pool must not be empty")
+        self.model = model
+        self.prediction_values = [
+            prediction_pool.record(row).values for row in range(prediction_pool.n_rows)
+        ]
+        self.unlearn_pool = list(unlearn_pool or [])
+        self.seed = seed
+        self.record_latencies = record_latencies
+
+    def run(self, mix: RequestMix) -> ThroughputReport:
+        """Execute one workload and measure throughput (and latencies).
+
+        Unlearning requests are scheduled by replacing randomly selected
+        prediction slots, capped by the available unlearn pool and the
+        model's remaining deletion budget.
+        """
+        rng = np.random.default_rng(self.seed)
+        n_unlearn = min(
+            int(round(mix.n_requests * mix.unlearn_fraction)),
+            len(self.unlearn_pool),
+            self.model.remaining_deletion_budget,
+        )
+        unlearn_slots = set(
+            int(slot)
+            for slot in rng.choice(mix.n_requests, size=n_unlearn, replace=False)
+        )
+        prediction_choices = rng.integers(
+            0, len(self.prediction_values), size=mix.n_requests
+        )
+
+        predict = self.model.predict
+        unlearn = self.model.unlearn
+        prediction_values = self.prediction_values
+        unlearn_queue = iter(self.unlearn_pool[:n_unlearn])
+
+        report = ThroughputReport(
+            n_predictions=mix.n_requests - n_unlearn,
+            n_unlearnings=n_unlearn,
+            total_seconds=0.0,
+        )
+
+        start = time.perf_counter()
+        if self.record_latencies:
+            for slot in range(mix.n_requests):
+                request_start = time.perf_counter()
+                if slot in unlearn_slots:
+                    unlearn(next(unlearn_queue))
+                    elapsed = (time.perf_counter() - request_start) * 1e6
+                    report.unlearning_latencies_us.append(elapsed)
+                else:
+                    predict(prediction_values[prediction_choices[slot]])
+                    elapsed = (time.perf_counter() - request_start) * 1e6
+                    report.prediction_latencies_us.append(elapsed)
+        else:
+            for slot in range(mix.n_requests):
+                if slot in unlearn_slots:
+                    unlearn(next(unlearn_queue))
+                else:
+                    predict(prediction_values[prediction_choices[slot]])
+        report.total_seconds = time.perf_counter() - start
+        return report

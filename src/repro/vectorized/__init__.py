@@ -1,0 +1,49 @@
+"""Scan kernels for Gini-gain counting (Section 5 of the paper).
+
+The computational core of tree learning is counting, for a candidate split
+over a sample of ``n`` records, how many records are positive, how many land
+in the left partition, and how many positives land in each partition. The
+paper implements this with SSE SIMD intrinsics in Rust and benchmarks four
+variants (Section 6.4.2):
+
+1. scalar code with branches,
+2. scalar code with branches removed via *predication*,
+3. the vectorised SIMD implementation,
+4. an mlpack-style implementation that vectorises only the per-class count
+   summation.
+
+This package reproduces the same four code shapes in Python. The
+"vectorised" tier uses numpy bulk operations, which dispatch to
+SIMD-enabled C loops -- the closest faithful equivalent of hand-written
+intrinsics available in a pure-Python environment. All kernels are
+observationally identical; the micro-benchmark in
+``benchmarks/test_sec642_vectorisation.py`` measures their relative speed.
+"""
+
+from repro.vectorized.kernels import (
+    SplitCounts,
+    categorical_counts_branching,
+    categorical_counts_mlpack,
+    categorical_counts_predicated,
+    categorical_counts_vectorised,
+    numeric_counts_branching,
+    numeric_counts_mlpack,
+    numeric_counts_predicated,
+    numeric_counts_vectorised,
+)
+from repro.vectorized.masks import subset_to_bitmask, bitmask_contains, bitmask_to_subset
+
+__all__ = [
+    "SplitCounts",
+    "numeric_counts_branching",
+    "numeric_counts_predicated",
+    "numeric_counts_vectorised",
+    "numeric_counts_mlpack",
+    "categorical_counts_branching",
+    "categorical_counts_predicated",
+    "categorical_counts_vectorised",
+    "categorical_counts_mlpack",
+    "subset_to_bitmask",
+    "bitmask_contains",
+    "bitmask_to_subset",
+]

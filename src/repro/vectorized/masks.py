@@ -1,0 +1,51 @@
+"""Bitmask subset representation for categorical splits.
+
+Categorical splits in HedgeCut test whether a record's category code is a
+member of a randomly chosen subset of the feature's domain. For domains of
+cardinality up to 32 the subset is a ``uint32`` bitmask and the membership
+test is ``(1 << code) & mask != 0`` -- exactly the layout the paper's Rust
+SIMD kernel operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.dataprep.dataset import BITMASK_MAX_CARDINALITY
+
+
+def subset_to_bitmask(codes: Iterable[int]) -> int:
+    """Pack category codes (< 32) into a uint32 bitmask."""
+    mask = 0
+    for code in codes:
+        if not 0 <= code < BITMASK_MAX_CARDINALITY:
+            raise ValueError(
+                f"code {code} does not fit a {BITMASK_MAX_CARDINALITY}-bit mask"
+            )
+        mask |= 1 << code
+    return mask
+
+
+def bitmask_contains(mask: int, code: int) -> bool:
+    """Membership test for a single code against a bitmask."""
+    return bool((mask >> code) & 1)
+
+
+def bitmask_to_subset(mask: int) -> frozenset[int]:
+    """Unpack a bitmask back into the set of codes it contains."""
+    return frozenset(
+        code for code in range(BITMASK_MAX_CARDINALITY) if (mask >> code) & 1
+    )
+
+
+def bitmask_membership_vector(mask: int, cardinality: int) -> np.ndarray:
+    """Boolean lookup table ``table[code] -> code in mask`` of given length.
+
+    The vectorised categorical kernel indexes this table with the whole code
+    column at once, mirroring how the SIMD version tests four 32-bit values
+    per instruction.
+    """
+    codes = np.arange(cardinality, dtype=np.int64)
+    return ((mask >> codes) & 1).astype(bool)

@@ -1,0 +1,99 @@
+"""Tests for the CART decision-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cart import DecisionTreeClassifier
+from repro.core.exceptions import NotFittedError
+
+from tests.conftest import make_random_dataset
+
+
+class TestValidation:
+    def test_rejects_bad_min_samples_split(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_rejects_bad_min_samples_leaf(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_rejects_unknown_max_features(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features="log2")
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.asarray([0]))
+
+
+class TestLearning:
+    def test_fits_training_data_to_the_achievable_optimum(self):
+        dataset = make_random_dataset(n_rows=200, seed=1)
+        tree = DecisionTreeClassifier().fit(dataset)
+        predictions = tree.predict_batch(dataset)
+        accuracy = float(np.mean(predictions == dataset.labels))
+        # A fully grown CART partitions until every leaf is pure in features,
+        # so its training accuracy equals the best achievable by any
+        # deterministic classifier: per feature-combination majority.
+        matrix = dataset.feature_matrix()
+        combos = {}
+        for row in range(dataset.n_rows):
+            key = tuple(matrix[row])
+            combos.setdefault(key, []).append(int(dataset.labels[row]))
+        achievable = sum(
+            max(labels.count(0), labels.count(1)) for labels in combos.values()
+        ) / dataset.n_rows
+        assert accuracy == pytest.approx(achievable)
+
+    def test_beats_majority_on_heldout(self, income_split):
+        train, test = income_split
+        tree = DecisionTreeClassifier().fit(train)
+        predictions = tree.predict_batch(test)
+        majority = max(float(np.mean(test.labels)), 1 - float(np.mean(test.labels)))
+        accuracy = float(np.mean(predictions == test.labels))
+        assert accuracy >= majority - 0.1
+
+    def test_max_depth_limits_tree(self):
+        dataset = make_random_dataset(n_rows=300, seed=2)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(dataset)
+        assert shallow.n_leaves <= 2
+
+    def test_min_samples_leaf_respected(self):
+        dataset = make_random_dataset(n_rows=300, seed=3)
+        constrained = DecisionTreeClassifier(min_samples_leaf=50).fit(dataset)
+        full = DecisionTreeClassifier().fit(dataset)
+        assert constrained.n_leaves <= full.n_leaves
+
+    def test_single_class_data_yields_single_leaf(self):
+        dataset = make_random_dataset(n_rows=50, seed=4)
+        uniform = dataset.take(np.flatnonzero(dataset.labels == 1))
+        tree = DecisionTreeClassifier().fit(uniform)
+        assert tree.n_leaves == 1
+        assert tree.predict(np.asarray([0, 0, 0])) == 1
+
+    def test_feature_subsampling_still_learns(self, income_split):
+        train, test = income_split
+        tree = DecisionTreeClassifier(max_features="sqrt", seed=7).fit(train)
+        assert set(np.unique(tree.predict_batch(test))).issubset({0, 1})
+
+
+class TestPredictionPaths:
+    def test_batch_matches_single(self):
+        dataset = make_random_dataset(n_rows=150, seed=5)
+        tree = DecisionTreeClassifier().fit(dataset)
+        batch = tree.predict_batch(dataset)
+        matrix = dataset.feature_matrix()
+        for row in range(0, dataset.n_rows, 13):
+            assert batch[row] == tree.predict(matrix[row])
+
+    def test_fit_arrays_equivalent_to_fit(self):
+        dataset = make_random_dataset(n_rows=150, seed=6)
+        by_dataset = DecisionTreeClassifier().fit(dataset)
+        by_arrays = DecisionTreeClassifier().fit_arrays(
+            dataset.feature_matrix(), dataset.labels
+        )
+        assert np.array_equal(
+            by_dataset.predict_batch(dataset),
+            by_arrays.predict_matrix_batch(dataset.feature_matrix()),
+        )

@@ -1,0 +1,51 @@
+"""Tests for the Random Forest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.forest import RandomForestClassifier
+from repro.core.exceptions import NotFittedError
+
+
+class TestValidation:
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.asarray([0]))
+
+
+class TestLearning:
+    def test_beats_majority(self, income_split):
+        train, test = income_split
+        forest = RandomForestClassifier(n_estimators=10, seed=1).fit(train)
+        predictions = forest.predict_batch(test)
+        majority = max(float(np.mean(test.labels)), 1 - float(np.mean(test.labels)))
+        assert float(np.mean(predictions == test.labels)) >= majority - 0.05
+
+    def test_deterministic_per_seed(self, income_split):
+        train, test = income_split
+        first = RandomForestClassifier(n_estimators=5, seed=3).fit(train)
+        second = RandomForestClassifier(n_estimators=5, seed=3).fit(train)
+        assert np.array_equal(first.predict_batch(test), second.predict_batch(test))
+
+    def test_bootstrap_varies_trees(self, income_split):
+        train, _ = income_split
+        forest = RandomForestClassifier(n_estimators=3, seed=5).fit(train)
+        # With bootstrap + feature subsampling the three trees are almost
+        # surely structurally different: they disagree somewhere on train.
+        matrix = train.feature_matrix()
+        per_tree = np.stack(
+            [tree.predict_matrix_batch(matrix) for tree in forest._trees]
+        )
+        assert (per_tree.min(axis=0) != per_tree.max(axis=0)).any()
+
+    def test_single_prediction_matches_batch(self, income_split):
+        train, test = income_split
+        forest = RandomForestClassifier(n_estimators=5, seed=2).fit(train)
+        batch = forest.predict_batch(test)
+        matrix = test.feature_matrix()
+        for row in range(0, test.n_rows, 29):
+            assert batch[row] == forest.predict(matrix[row])

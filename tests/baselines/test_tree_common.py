@@ -1,0 +1,85 @@
+"""Tests for the shared baseline tree machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree_common import (
+    BaselineLeaf,
+    BaselineSplit,
+    best_threshold_for_feature,
+    gini_children,
+    majority_leaf,
+    predict_matrix,
+    predict_values,
+)
+
+
+class TestGiniChildren:
+    def test_pure_split_has_zero_impurity(self):
+        impurity = gini_children(
+            np.asarray([5]), np.asarray([5]), n=10, n_plus=5
+        )
+        assert impurity[0] == pytest.approx(0.0)
+
+    def test_degenerate_split_is_infinite(self):
+        impurity = gini_children(np.asarray([0, 10]), np.asarray([0, 5]), 10, 5)
+        assert np.isinf(impurity).all()
+
+    def test_uninformative_split_keeps_parent_impurity(self):
+        impurity = gini_children(np.asarray([5]), np.asarray([2]), n=10, n_plus=4)
+        parent = 2 * 0.4 * 0.6
+        assert impurity[0] == pytest.approx(parent, abs=0.05)
+
+
+class TestBestThreshold:
+    def test_finds_separating_threshold(self):
+        codes = np.asarray([0, 1, 2, 3, 4, 5])
+        labels = np.asarray([0, 0, 0, 1, 1, 1])
+        result = best_threshold_for_feature(codes, labels, n_values=6)
+        assert result is not None
+        threshold, impurity = result
+        assert threshold == 2
+        assert impurity == pytest.approx(0.0)
+
+    def test_constant_feature_returns_none(self):
+        codes = np.full(5, 3)
+        labels = np.asarray([0, 1, 0, 1, 0])
+        assert best_threshold_for_feature(codes, labels, n_values=6) is None
+
+    def test_single_value_domain_returns_none(self):
+        assert (
+            best_threshold_for_feature(np.zeros(4, dtype=int), np.zeros(4, dtype=int), 1)
+            is None
+        )
+
+
+class TestPrediction:
+    def make_tree(self):
+        return BaselineSplit(
+            feature=0,
+            threshold=2,
+            left=BaselineLeaf(n=5, n_plus=5),
+            right=BaselineLeaf(n=5, n_plus=0),
+        )
+
+    def test_predict_values(self):
+        tree = self.make_tree()
+        assert predict_values(tree, np.asarray([1])) == 1
+        assert predict_values(tree, np.asarray([3])) == 0
+
+    def test_predict_matrix_matches_scalar(self):
+        tree = self.make_tree()
+        matrix = np.asarray([[0], [2], [3], [9]])
+        batch = predict_matrix(tree, matrix)
+        assert batch.tolist() == [
+            predict_values(tree, row) for row in matrix
+        ]
+
+    def test_majority_leaf(self):
+        leaf = majority_leaf(np.asarray([1, 1, 0]))
+        assert leaf.n == 3
+        assert leaf.n_plus == 2
+        assert leaf.predict() == 1
+
+    def test_leaf_tie_predicts_negative(self):
+        assert BaselineLeaf(n=4, n_plus=2).predict() == 0

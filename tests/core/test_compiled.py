@@ -1,0 +1,134 @@
+"""Tests for the compiled flat-array predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import LEAF_MARKER, CompiledTree
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, SubtreeVariant
+from repro.core.params import HedgeCutParams
+from repro.core.splits import CategoricalSplit, NumericSplit, SplitStats
+from repro.core.tree import TreeBuilder
+
+from tests.conftest import make_random_dataset
+
+
+def graph_predict(node, values):
+    """Reference prediction by graph traversal."""
+    while not isinstance(node, Leaf):
+        if isinstance(node, MaintenanceNode):
+            node = node.active.child_for_value(values[node.active.split.feature])
+        else:
+            node = node.child_for_value(values[node.split.feature])
+    return node.predict()
+
+
+def trained_tree(seed=0, **overrides):
+    dataset = make_random_dataset(n_rows=250, seed=seed)
+    params = HedgeCutParams(n_trees=1, seed=0, **overrides)
+    tree = TreeBuilder(dataset, params, np.random.default_rng(seed)).build()
+    return dataset, tree
+
+
+class TestCompilation:
+    def test_single_leaf_tree(self):
+        compiled = CompiledTree.from_tree(Leaf(n=4, n_plus=3))
+        assert compiled.feature == [LEAF_MARKER]
+        assert compiled.predict_value((0,)) == 1
+
+    def test_numeric_split_tree(self):
+        root = SplitNode(
+            split=NumericSplit(feature=0, cut=3),
+            stats=SplitStats(10, 5, 5, 5),
+            left=Leaf(5, 5),
+            right=Leaf(5, 0),
+        )
+        compiled = CompiledTree.from_tree(root)
+        assert compiled.predict_value((2,)) == 1
+        assert compiled.predict_value((3,)) == 0
+
+    def test_categorical_split_tree(self):
+        root = SplitNode(
+            split=CategoricalSplit(feature=0, subset_mask=0b010, cardinality=3),
+            stats=SplitStats(10, 5, 5, 5),
+            left=Leaf(5, 5),
+            right=Leaf(5, 0),
+        )
+        compiled = CompiledTree.from_tree(root)
+        assert compiled.predict_value((1,)) == 1
+        assert compiled.predict_value((0,)) == 0
+        assert compiled.predict_value((2,)) == 0
+
+    def test_maintenance_node_resolves_active_variant(self):
+        strong = SubtreeVariant(
+            split=NumericSplit(feature=0, cut=4),
+            stats=SplitStats(10, 5, 5, 5),
+            left=Leaf(5, 5),
+            right=Leaf(5, 0),
+            gain=0.5,
+        )
+        weak = SubtreeVariant(
+            split=NumericSplit(feature=0, cut=2),
+            stats=SplitStats(10, 5, 5, 2),
+            left=Leaf(5, 0),
+            right=Leaf(5, 5),
+            gain=0.1,
+        )
+        node = MaintenanceNode(variants=[strong, weak], active_index=0)
+        compiled = CompiledTree.from_tree(node)
+        # Active variant "strong": 1 < 4 goes left, positive leaf.
+        assert compiled.predict_value((1,)) == 1
+        # Switch the active variant and recompile: "weak" routes 1 < 2 to
+        # its negative left leaf.
+        node.active_index = 1
+        recompiled = CompiledTree.from_tree(node)
+        assert recompiled.predict_value((1,)) == 0
+
+
+class TestEquivalenceWithGraph:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_compiled_matches_graph_on_training_data(self, seed):
+        dataset, tree = trained_tree(seed=seed, epsilon=0.02)
+        compiled = CompiledTree.from_tree(tree.root)
+        for row in range(dataset.n_rows):
+            values = dataset.record(row).values
+            assert compiled.predict_value(values) == graph_predict(tree.root, values)
+
+    def test_compiled_matches_graph_on_unseen_data(self):
+        dataset, tree = trained_tree(seed=4)
+        other = make_random_dataset(n_rows=100, seed=99)
+        compiled = CompiledTree.from_tree(tree.root)
+        for row in range(other.n_rows):
+            values = other.record(row).values
+            assert compiled.predict_value(values) == graph_predict(tree.root, values)
+
+    def test_batch_matches_single(self):
+        dataset, tree = trained_tree(seed=5)
+        compiled = CompiledTree.from_tree(tree.root)
+        batch = compiled.predict_batch(dataset)
+        for row in range(dataset.n_rows):
+            assert batch[row] == compiled.predict_value(dataset.record(row).values)
+
+
+class TestLiveLeafStatistics:
+    def test_leaf_updates_visible_without_recompilation(self):
+        leaf_left = Leaf(n=3, n_plus=2)
+        root = SplitNode(
+            split=NumericSplit(feature=0, cut=3),
+            stats=SplitStats(6, 3, 3, 2),
+            left=leaf_left,
+            right=Leaf(3, 1),
+        )
+        compiled = CompiledTree.from_tree(root)
+        assert compiled.predict_value((0,)) == 1
+        # Unlearning decrements the live leaf object; the compiled arrays
+        # reference it, so the majority can flip without recompiling.
+        leaf_left.n = 2
+        leaf_left.n_plus = 1
+        assert compiled.predict_value((0,)) == 0
+
+    def test_proba_reads_live_counts(self):
+        leaf = Leaf(n=4, n_plus=1)
+        compiled = CompiledTree.from_tree(leaf)
+        assert compiled.predict_proba_value((0,)) == pytest.approx(0.25)
+        leaf.n_plus = 3
+        assert compiled.predict_proba_value((0,)) == pytest.approx(0.75)

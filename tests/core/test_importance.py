@@ -1,0 +1,67 @@
+"""Tests for Gini feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.importance import feature_importance, top_features, tree_feature_importance
+from repro.core.nodes import Leaf
+
+from tests.conftest import make_random_dataset
+
+
+class TestTreeImportance:
+    def test_single_leaf_has_no_importance(self):
+        scores = tree_feature_importance(Leaf(10, 4), n_features=3)
+        assert scores.tolist() == [0.0, 0.0, 0.0]
+
+    def test_scores_are_non_negative(self, fitted_model_session):
+        for tree in fitted_model_session.trees:
+            scores = tree_feature_importance(
+                tree.root, len(fitted_model_session.schema)
+            )
+            assert (scores >= 0).all()
+
+
+class TestEnsembleImportance:
+    def test_normalised_scores_sum_to_one(self, fitted_model_session):
+        scores = feature_importance(fitted_model_session)
+        assert scores.shape == (len(fitted_model_session.schema),)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_informative_features_dominate(self):
+        """The planted signal features must outrank the pure-noise one.
+
+        ``make_random_dataset`` labels depend on features 0 (num_a) and 2
+        (cat_a); feature 1 (num_b) is noise.
+        """
+        dataset = make_random_dataset(n_rows=400, seed=71)
+        model = HedgeCutClassifier(n_trees=10, seed=71).fit(dataset)
+        scores = feature_importance(model)
+        assert scores[0] > scores[1]
+        assert scores[2] > scores[1]
+
+    def test_top_features_names_and_order(self):
+        dataset = make_random_dataset(n_rows=400, seed=72)
+        model = HedgeCutClassifier(n_trees=5, seed=72).fit(dataset)
+        ranked = top_features(model, k=3)
+        assert len(ranked) == 3
+        names = [name for name, _ in ranked]
+        assert set(names).issubset({"num_a", "num_b", "cat_a"})
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unnormalised_scores(self, fitted_model_session):
+        raw = feature_importance(fitted_model_session, normalize=False)
+        assert (raw >= 0).all()
+
+    def test_importance_tracks_unlearning(self, fitted_model, income_split):
+        """Importances are recomputed from live statistics."""
+        train, _ = income_split
+        before = feature_importance(fitted_model, normalize=False)
+        for row in range(fitted_model.deletion_budget):
+            fitted_model.unlearn(train.record(row))
+        after = feature_importance(fitted_model, normalize=False)
+        assert before.shape == after.shape
+        # Statistics changed, so the raw scores cannot be bitwise frozen.
+        assert not np.array_equal(before, after)

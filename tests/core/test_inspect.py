@@ -1,0 +1,106 @@
+"""Tests for model introspection utilities."""
+
+import pytest
+
+from repro.core.inspect import inspect_model, render_tree, summarize_tree
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, SubtreeVariant
+from repro.core.splits import NumericSplit, SplitStats
+from repro.dataprep.dataset import FeatureKind, FeatureSchema
+
+
+def tiny_schema():
+    return (FeatureSchema("age", FeatureKind.NUMERIC, 20),)
+
+
+def tiny_tree():
+    return SplitNode(
+        split=NumericSplit(feature=0, cut=10),
+        stats=SplitStats(10, 6, 4, 4),
+        left=Leaf(4, 4),
+        right=Leaf(6, 2),
+    )
+
+
+def tree_with_maintenance():
+    variant_a = SubtreeVariant(
+        split=NumericSplit(feature=0, cut=5),
+        stats=SplitStats(10, 5, 5, 5),
+        left=Leaf(5, 5),
+        right=Leaf(5, 0),
+        gain=0.5,
+    )
+    variant_b = SubtreeVariant(
+        split=NumericSplit(feature=0, cut=15),
+        stats=SplitStats(10, 5, 8, 4),
+        left=Leaf(8, 4),
+        right=Leaf(2, 1),
+        gain=0.1,
+    )
+    return MaintenanceNode(variants=[variant_a, variant_b], active_index=0)
+
+
+class TestSummaries:
+    def test_summarize_plain_tree(self):
+        summary = summarize_tree(tiny_tree())
+        assert summary.n_leaves == 2
+        assert summary.n_robust_splits == 1
+        assert summary.n_maintenance_nodes == 0
+        assert summary.max_depth == 1
+        assert summary.total_records == 10
+        assert summary.mean_leaf_size == pytest.approx(5.0)
+        assert summary.n_nodes == 3
+
+    def test_summarize_counts_variants(self):
+        summary = summarize_tree(tree_with_maintenance())
+        assert summary.n_maintenance_nodes == 1
+        assert summary.n_variants == 2
+        assert summary.n_leaves == 4
+        # Active-path record total counts the active variant only.
+        assert summary.total_records == 10
+
+    def test_summarize_single_leaf(self):
+        summary = summarize_tree(Leaf(7, 3))
+        assert summary.n_nodes == 1
+        assert summary.max_depth == 0
+        assert summary.total_records == 7
+
+
+class TestRender:
+    def test_renders_splits_and_leaves(self):
+        rendered = render_tree(tiny_tree(), tiny_schema())
+        assert "age" in rendered
+        assert "leaf(n=4, n+=4)" in rendered
+        assert "gain=" in rendered
+
+    def test_marks_active_variant(self):
+        rendered = render_tree(tree_with_maintenance(), tiny_schema())
+        assert "maintenance(2 variants, active=0)" in rendered
+        assert "*variant" in rendered
+
+    def test_depth_truncation(self):
+        deep = SplitNode(
+            split=NumericSplit(feature=0, cut=10),
+            stats=SplitStats(4, 2, 2, 2),
+            left=tiny_tree(),
+            right=Leaf(2, 0),
+        )
+        rendered = render_tree(deep, tiny_schema(), max_depth=0)
+        assert "..." in rendered
+
+
+class TestModelReport:
+    def test_inspect_fitted_model(self, fitted_model_session):
+        report = inspect_model(fitted_model_session)
+        assert report.n_trees == 5
+        assert report.total_nodes > 0
+        assert 0.0 <= report.non_robust_fraction < 1.0
+        assert report.mean_depth > 0
+        summary = report.format_summary()
+        assert "HedgeCut model" in summary
+        assert "deletion budget" in summary
+
+    def test_report_reflects_unlearning(self, fitted_model, income_split):
+        train, _ = income_split
+        fitted_model.unlearn(train.record(0))
+        report = inspect_model(fitted_model)
+        assert report.n_unlearned == 1

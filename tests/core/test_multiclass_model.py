@@ -1,0 +1,195 @@
+"""Tests for the K-class HedgeCut classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    DeletionBudgetExhausted,
+    NotFittedError,
+    UnlearningError,
+)
+from repro.core.multiclass_model import (
+    MCLeaf,
+    MCMaintenanceNode,
+    MCSplitNode,
+    MulticlassDataset,
+    MulticlassHedgeCut,
+    MulticlassRecord,
+)
+from repro.dataprep.dataset import FeatureKind, FeatureSchema
+
+
+def make_three_class_dataset(n_rows=400, seed=0) -> MulticlassDataset:
+    """Three classes carved from two features plus label noise."""
+    rng = np.random.default_rng(seed)
+    schema = (
+        FeatureSchema("a", FeatureKind.NUMERIC, 10),
+        FeatureSchema("b", FeatureKind.NUMERIC, 10),
+        FeatureSchema("c", FeatureKind.CATEGORICAL, 5),
+    )
+    a = rng.integers(0, 10, size=n_rows)
+    b = rng.integers(0, 10, size=n_rows)
+    c = rng.integers(0, 5, size=n_rows)
+    labels = np.where(a < 4, 0, np.where(b < 5, 1, 2)).astype(np.int64)
+    noise = rng.random(n_rows) < 0.1
+    labels[noise] = rng.integers(0, 3, size=int(noise.sum()))
+    return MulticlassDataset(
+        schema=schema,
+        columns=(a.astype(np.uint8), b.astype(np.uint8), c.astype(np.uint8)),
+        labels=labels,
+        n_classes=3,
+    )
+
+
+class TestDataset:
+    def test_validates_label_range(self):
+        schema = (FeatureSchema("a", FeatureKind.NUMERIC, 4),)
+        with pytest.raises(ValueError):
+            MulticlassDataset(
+                schema=schema,
+                columns=(np.asarray([0, 1]),),
+                labels=np.asarray([0, 5]),
+                n_classes=3,
+            )
+
+    def test_requires_two_classes(self):
+        schema = (FeatureSchema("a", FeatureKind.NUMERIC, 4),)
+        with pytest.raises(ValueError):
+            MulticlassDataset(
+                schema=schema,
+                columns=(np.asarray([0]),),
+                labels=np.asarray([0]),
+                n_classes=1,
+            )
+
+    def test_record_and_drop(self):
+        dataset = make_three_class_dataset(n_rows=50)
+        record = dataset.record(3)
+        assert len(record.values) == 3
+        reduced = dataset.drop([0, 1])
+        assert reduced.n_rows == 48
+
+
+class TestLeaf:
+    def test_argmax_prediction(self):
+        leaf = MCLeaf(counts=np.asarray([1, 5, 2]))
+        assert leaf.predict() == 1
+
+    def test_remove_guards_underflow(self):
+        leaf = MCLeaf(counts=np.asarray([0, 1]))
+        leaf.remove(1)
+        with pytest.raises(UnlearningError):
+            leaf.remove(1)
+
+
+class TestTraining:
+    def test_learns_the_three_class_concept(self):
+        dataset = make_three_class_dataset(seed=1)
+        model = MulticlassHedgeCut(n_trees=10, epsilon=0.005, seed=1).fit(dataset)
+        predictions = model.predict_batch(dataset)
+        accuracy = float(np.mean(predictions == dataset.labels))
+        majority = float(np.bincount(dataset.labels).max()) / dataset.n_rows
+        assert accuracy > majority + 0.15
+
+    def test_unfitted_rejects_predict(self):
+        with pytest.raises(NotFittedError):
+            MulticlassHedgeCut().predict((0, 0, 0))
+
+    def test_deterministic_per_seed(self):
+        dataset = make_three_class_dataset(seed=2)
+        first = MulticlassHedgeCut(n_trees=4, seed=7).fit(dataset)
+        second = MulticlassHedgeCut(n_trees=4, seed=7).fit(dataset)
+        assert np.array_equal(first.predict_batch(dataset), second.predict_batch(dataset))
+
+    def test_empty_dataset_rejected(self):
+        dataset = make_three_class_dataset(n_rows=50)
+        empty = MulticlassDataset(
+            schema=dataset.schema,
+            columns=tuple(column[:0] for column in dataset.columns),
+            labels=dataset.labels[:0],
+            n_classes=3,
+        )
+        with pytest.raises(ValueError):
+            MulticlassHedgeCut(n_trees=1).fit(empty)
+
+
+class TestUnlearning:
+    def test_budget_accounting(self):
+        dataset = make_three_class_dataset(seed=3)
+        model = MulticlassHedgeCut(n_trees=3, epsilon=0.01, seed=3).fit(dataset)
+        budget = model.deletion_budget
+        for row in range(budget):
+            model.unlearn(dataset.record(row))
+        assert model.remaining_deletion_budget == 0
+        with pytest.raises(DeletionBudgetExhausted):
+            model.unlearn(dataset.record(budget))
+
+    def test_label_out_of_range_rejected(self):
+        dataset = make_three_class_dataset(seed=4)
+        model = MulticlassHedgeCut(n_trees=2, seed=4).fit(dataset)
+        with pytest.raises(UnlearningError):
+            model.unlearn(MulticlassRecord(values=(0, 0, 0), label=9))
+
+    def test_unlearning_equals_recount(self):
+        """Every statistic matches a recount of the surviving records."""
+        dataset = make_three_class_dataset(n_rows=300, seed=5)
+        model = MulticlassHedgeCut(n_trees=3, epsilon=0.02, seed=5).fit(dataset)
+        removed = list(range(model.deletion_budget))
+        for row in removed:
+            model.unlearn(dataset.record(row))
+        surviving = [
+            dataset.record(row)
+            for row in range(dataset.n_rows)
+            if row not in set(removed)
+        ]
+
+        def check(node, records):
+            counts = np.zeros(3, dtype=np.int64)
+            for record in records:
+                counts[record.label] += 1
+            if isinstance(node, MCLeaf):
+                assert node.counts.tolist() == counts.tolist()
+                return
+            if isinstance(node, MCSplitNode):
+                branches = [(node.split, node.stats, node.left, node.right)]
+            else:
+                branches = [
+                    (v.split, v.stats, v.left, v.right) for v in node.variants
+                ]
+            for split, stats, left, right in branches:
+                left_records = [
+                    record
+                    for record in records
+                    if split.goes_left_value(record.values[split.feature])
+                ]
+                right_records = [
+                    record
+                    for record in records
+                    if not split.goes_left_value(record.values[split.feature])
+                ]
+                left_counts = np.zeros(3, dtype=np.int64)
+                for record in left_records:
+                    left_counts[record.label] += 1
+                assert stats.left.tolist() == left_counts.tolist()
+                check(left, left_records)
+                check(right, right_records)
+
+        for root in model._roots:
+            check(root, surviving)
+
+    def test_maintenance_variants_exist_under_loose_epsilon(self):
+        dataset = make_three_class_dataset(n_rows=300, seed=6)
+        model = MulticlassHedgeCut(n_trees=5, epsilon=0.05, seed=6).fit(dataset)
+
+        def count_maintenance(node):
+            if isinstance(node, MCLeaf):
+                return 0
+            if isinstance(node, MCSplitNode):
+                return count_maintenance(node.left) + count_maintenance(node.right)
+            return 1 + sum(
+                count_maintenance(v.left) + count_maintenance(v.right)
+                for v in node.variants
+            )
+
+        total = sum(count_maintenance(root) for root in model._roots)
+        assert total > 0

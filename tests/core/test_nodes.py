@@ -1,0 +1,134 @@
+"""Tests for leaf, split and maintenance node behaviour."""
+
+import pytest
+
+from repro.core.nodes import (
+    Leaf,
+    MaintenanceNode,
+    SplitNode,
+    SubtreeVariant,
+    census,
+    iter_nodes,
+)
+from repro.core.splits import NumericSplit, SplitStats
+
+
+def make_variant(gain_left_plus: int, n: int = 20) -> SubtreeVariant:
+    stats = SplitStats(n=n, n_plus=10, n_left=10, n_left_plus=gain_left_plus)
+    variant = SubtreeVariant(
+        split=NumericSplit(feature=0, cut=3),
+        stats=stats,
+        left=Leaf(n=10, n_plus=gain_left_plus),
+        right=Leaf(n=10, n_plus=10 - gain_left_plus),
+    )
+    variant.refresh_gain()
+    return variant
+
+
+class TestLeaf:
+    def test_majority_prediction(self):
+        assert Leaf(n=10, n_plus=6).predict() == 1
+        assert Leaf(n=10, n_plus=4).predict() == 0
+
+    def test_tie_predicts_negative(self):
+        assert Leaf(n=10, n_plus=5).predict() == 0
+
+    def test_proba(self):
+        assert Leaf(n=10, n_plus=4).predict_proba() == pytest.approx(0.4)
+
+    def test_empty_leaf_is_uninformative(self):
+        assert Leaf(n=0, n_plus=0).predict_proba() == pytest.approx(0.5)
+        assert Leaf(n=0, n_plus=0).predict() == 0
+
+
+class TestSplitNode:
+    def test_routes_by_split(self):
+        left = Leaf(n=5, n_plus=5)
+        right = Leaf(n=5, n_plus=0)
+        node = SplitNode(
+            split=NumericSplit(feature=1, cut=4),
+            stats=SplitStats(10, 5, 5, 5),
+            left=left,
+            right=right,
+        )
+        assert node.child_for_value(3) is left
+        assert node.child_for_value(4) is right
+
+
+class TestMaintenanceNode:
+    def test_requires_variants(self):
+        with pytest.raises(ValueError):
+            MaintenanceNode(variants=[])
+
+    def test_rejects_bad_active_index(self):
+        with pytest.raises(ValueError):
+            MaintenanceNode(variants=[make_variant(9)], active_index=3)
+
+    def test_rescore_selects_highest_gain(self):
+        weak = make_variant(6)
+        strong = make_variant(10)
+        node = MaintenanceNode(variants=[weak, strong], active_index=0)
+        switched = node.rescore()
+        assert switched
+        assert node.active is strong
+
+    def test_rescore_reports_no_switch_when_stable(self):
+        strong = make_variant(10)
+        weak = make_variant(6)
+        node = MaintenanceNode(variants=[strong, weak], active_index=0)
+        assert not node.rescore()
+        assert node.active is strong
+
+    def test_rescore_breaks_ties_towards_lower_index(self):
+        first = make_variant(8)
+        second = make_variant(8)
+        node = MaintenanceNode(variants=[first, second], active_index=1)
+        switched = node.rescore()
+        assert switched
+        assert node.active_index == 0
+
+    def test_rescore_tracks_stat_mutation(self):
+        strong = make_variant(10)
+        weak = make_variant(6)
+        node = MaintenanceNode(variants=[strong, weak], active_index=0)
+        # Degrade the strong variant's statistics below the weak one.
+        strong.stats.n_left_plus = 5
+        assert node.rescore()
+        assert node.active is weak
+
+
+class TestTraversal:
+    def test_iter_nodes_covers_inactive_variants(self):
+        variant_a = make_variant(9)
+        variant_b = make_variant(7)
+        node = MaintenanceNode(variants=[variant_a, variant_b])
+        nodes = list(iter_nodes(node))
+        # 1 maintenance node + 2 leaves per variant.
+        assert len(nodes) == 5
+        assert sum(isinstance(n, Leaf) for n in nodes) == 4
+
+    def test_census_counts_node_kinds(self):
+        inner = SplitNode(
+            split=NumericSplit(feature=0, cut=2),
+            stats=SplitStats(10, 5, 5, 3),
+            left=Leaf(5, 3),
+            right=Leaf(5, 2),
+        )
+        maintenance = MaintenanceNode(variants=[make_variant(9)])
+        root = SplitNode(
+            split=NumericSplit(feature=0, cut=5),
+            stats=SplitStats(30, 15, 10, 5),
+            left=inner,
+            right=maintenance,
+        )
+        counts = census(root)
+        assert counts.n_robust_splits == 2
+        assert counts.n_maintenance_nodes == 1
+        assert counts.n_leaves == 4
+        assert counts.n_nodes == 7
+        assert counts.non_robust_fraction == pytest.approx(1 / 7)
+
+    def test_census_of_single_leaf(self):
+        counts = census(Leaf(3, 1))
+        assert counts.n_nodes == 1
+        assert counts.non_robust_fraction == 0.0

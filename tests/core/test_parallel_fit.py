@@ -1,0 +1,42 @@
+"""Tests for process-pool parallel training (Section 5 parallelism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.params import HedgeCutParams
+
+from tests.conftest import make_random_dataset
+
+
+class TestParallelTraining:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            HedgeCutParams(n_jobs=0)
+
+    def test_parallel_equals_sequential(self):
+        """Trees are fully independent, so worker processes must produce
+        exactly the sequential result for the same seed."""
+        dataset = make_random_dataset(n_rows=250, seed=61)
+        sequential = HedgeCutClassifier(n_trees=4, seed=61).fit(dataset)
+        parallel = HedgeCutClassifier(n_trees=4, seed=61, n_jobs=2).fit(dataset)
+        assert np.array_equal(
+            sequential.predict_batch(dataset), parallel.predict_batch(dataset)
+        )
+        assert (
+            sequential.node_census().n_nodes == parallel.node_census().n_nodes
+        )
+
+    def test_parallel_model_supports_unlearning(self):
+        dataset = make_random_dataset(n_rows=250, seed=62)
+        model = HedgeCutClassifier(n_trees=2, epsilon=0.02, seed=62, n_jobs=2)
+        model.fit(dataset)
+        report = model.unlearn(dataset.record(0))
+        assert report.leaves_updated >= 2
+
+    def test_save_load_preserves_n_jobs(self, tmp_path):
+        dataset = make_random_dataset(n_rows=200, seed=63)
+        model = HedgeCutClassifier(n_trees=2, seed=63, n_jobs=2).fit(dataset)
+        model.save(tmp_path / "m.bin")
+        restored = HedgeCutClassifier.load(tmp_path / "m.bin")
+        assert restored.params.n_jobs == 2

@@ -1,0 +1,69 @@
+"""Tests for hyperparameter validation and derived quantities."""
+
+import pytest
+
+from repro.core.params import HedgeCutParams
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        params = HedgeCutParams()
+        assert params.n_trees == 100
+        assert params.epsilon == 0.001
+        assert params.max_tries_per_split == 5
+        assert params.min_leaf_size == 2
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_trees", 0),
+            ("epsilon", 0.0),
+            ("epsilon", 1.5),
+            ("max_tries_per_split", 0),
+            ("min_leaf_size", 0),
+            ("n_candidates", 0),
+            ("max_maintenance_depth", -1),
+        ],
+    )
+    def test_rejects_invalid_values(self, field, value):
+        with pytest.raises(ValueError):
+            HedgeCutParams(**{field: value})
+
+    def test_rejects_unknown_robustness_mode(self):
+        with pytest.raises(ValueError):
+            HedgeCutParams(robustness_mode="maybe")
+
+    @pytest.mark.parametrize("mode", ["greedy", "verified", "off"])
+    def test_accepts_known_robustness_modes(self, mode):
+        assert HedgeCutParams(robustness_mode=mode).robustness_mode == mode
+
+    def test_unbounded_maintenance_depth_allowed(self):
+        assert HedgeCutParams(max_maintenance_depth=None).max_maintenance_depth is None
+
+
+class TestDeletionBudget:
+    def test_paper_example(self):
+        # 10,000 examples at 0.1% yields a budget of 10 (Section 4.2).
+        assert HedgeCutParams(epsilon=0.001).deletion_budget(10_000) == 10
+
+    def test_budget_is_at_least_one(self):
+        assert HedgeCutParams(epsilon=0.001).deletion_budget(10) == 1
+
+    def test_budget_floors(self):
+        assert HedgeCutParams(epsilon=0.001).deletion_budget(1999) == 1
+        assert HedgeCutParams(epsilon=0.001).deletion_budget(2999) == 2
+
+    def test_rejects_empty_training_set(self):
+        with pytest.raises(ValueError):
+            HedgeCutParams().deletion_budget(0)
+
+
+class TestCandidateCount:
+    def test_sqrt_default(self):
+        params = HedgeCutParams()
+        assert params.candidates_for(12) == 3
+        assert params.candidates_for(17) == 4
+        assert params.candidates_for(1) == 1
+
+    def test_explicit_override(self):
+        assert HedgeCutParams(n_candidates=7).candidates_for(100) == 7

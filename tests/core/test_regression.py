@@ -1,0 +1,131 @@
+"""Tests for the regression extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, UnlearningError
+from repro.core.regression import (
+    HedgeCutRegressor,
+    RegressionDataset,
+    RegressionLeaf,
+    RegressionRecord,
+)
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    base = load_dataset("credit", n_rows=500, seed=9)
+    rng = np.random.default_rng(9)
+    # A tree-learnable target: depends on two encoded features plus noise.
+    targets = (
+        2.0 * base.column(0).astype(np.float64)
+        + 3.0 * (base.column(1).astype(np.float64) > 10)
+        + rng.normal(0.0, 0.5, size=base.n_rows)
+    )
+    return RegressionDataset.from_dataset(base, targets)
+
+
+class TestRegressionLeaf:
+    def test_prediction_is_the_mean(self):
+        leaf = RegressionLeaf(n=4, total=10.0, total_sq=30.0)
+        assert leaf.predict() == pytest.approx(2.5)
+
+    def test_variance(self):
+        leaf = RegressionLeaf(n=2, total=4.0, total_sq=10.0)
+        # values {1, 3}: mean 2, variance 1.
+        assert leaf.variance() == pytest.approx(1.0)
+
+    def test_empty_leaf(self):
+        leaf = RegressionLeaf(n=0, total=0.0, total_sq=0.0)
+        assert leaf.predict() == 0.0
+        assert leaf.variance() == 0.0
+
+
+class TestRegressorTraining:
+    def test_fit_and_predict(self, regression_data):
+        model = HedgeCutRegressor(n_trees=5, seed=0).fit(regression_data)
+        predictions = model.predict_batch(regression_data)
+        assert predictions.shape == (regression_data.n_rows,)
+        # The model must explain a substantial part of the variance.
+        residual = regression_data.targets - predictions
+        assert residual.var() < 0.5 * regression_data.targets.var()
+
+    def test_unfitted_rejects_predict(self):
+        with pytest.raises(NotFittedError):
+            HedgeCutRegressor().predict((0, 0))
+
+    def test_deterministic_per_seed(self, regression_data):
+        first = HedgeCutRegressor(n_trees=3, seed=4).fit(regression_data)
+        second = HedgeCutRegressor(n_trees=3, seed=4).fit(regression_data)
+        assert np.allclose(
+            first.predict_batch(regression_data), second.predict_batch(regression_data)
+        )
+
+    def test_empty_dataset_rejected(self, regression_data):
+        empty = RegressionDataset(
+            schema=regression_data.schema,
+            columns=tuple(column[:0] for column in regression_data.columns),
+            targets=regression_data.targets[:0],
+        )
+        with pytest.raises(ValueError):
+            HedgeCutRegressor(n_trees=1).fit(empty)
+
+
+class TestRegressionUnlearning:
+    def test_unlearn_updates_leaf_means(self, regression_data):
+        model = HedgeCutRegressor(n_trees=3, epsilon=0.05, seed=1).fit(regression_data)
+        record = regression_data.record(0)
+        before = model.predict(record.values)
+        for row in range(model.remaining_deletion_budget):
+            model.unlearn(regression_data.record(row))
+        after = model.predict(record.values)
+        # Prediction remains finite and the budget is consumed.
+        assert np.isfinite(after)
+        assert model.remaining_deletion_budget == 0
+        assert isinstance(before, float)
+
+    def test_unlearning_empty_leaf_raises(self):
+        model = HedgeCutRegressor(n_trees=1, seed=0)
+        single = RegressionDataset(
+            schema=load_dataset("credit", n_rows=400, seed=1).schema,
+            columns=tuple(
+                load_dataset("credit", n_rows=400, seed=1).column(index)[:2]
+                for index in range(8)
+            ),
+            targets=np.asarray([1.0, 2.0]),
+        )
+        model.fit(single)
+        record = single.record(0)
+        model.unlearn(record)
+        model.unlearn(record)
+        with pytest.raises(UnlearningError):
+            model.unlearn(record)
+
+    def test_unlearning_drift_is_small(self, regression_data):
+        model = HedgeCutRegressor(n_trees=3, epsilon=0.01, seed=2).fit(regression_data)
+        removed = list(range(model.remaining_deletion_budget))
+        for row in removed:
+            model.unlearn(regression_data.record(row))
+        drift = model.unlearning_drift(regression_data, removed)
+        spread = float(regression_data.targets.std())
+        assert drift < 0.5 * spread
+
+
+class TestRegressionDataset:
+    def test_from_dataset_shares_columns(self):
+        base = load_dataset("credit", n_rows=400, seed=2)
+        targets = np.arange(base.n_rows, dtype=np.float64)
+        data = RegressionDataset.from_dataset(base, targets)
+        assert data.n_rows == base.n_rows
+        assert data.n_features == base.n_features
+
+    def test_target_length_mismatch_rejected(self):
+        base = load_dataset("credit", n_rows=400, seed=2)
+        with pytest.raises(ValueError):
+            RegressionDataset.from_dataset(base, np.zeros(3))
+
+    def test_record_access(self, regression_data):
+        record = regression_data.record(5)
+        assert isinstance(record, RegressionRecord)
+        assert len(record.values) == regression_data.n_features

@@ -1,0 +1,171 @@
+"""Tests for the greedy robustness analysis and the exhaustive oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.robustness import (
+    REMOVAL_CONFIGS,
+    enumerate_is_robust,
+    greedy_precondition_holds,
+    is_robust,
+    weaken_split,
+)
+from repro.core.splits import SplitStats
+
+
+@st.composite
+def split_pair(draw, max_n: int = 40):
+    """Two consistent split statistics over the same sample."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    n_plus = draw(st.integers(min_value=0, max_value=n))
+
+    def side(n_left):
+        low = max(0, n_plus - (n - n_left))
+        high = min(n_plus, n_left)
+        return draw(st.integers(min_value=low, max_value=high))
+
+    n_left_a = draw(st.integers(min_value=1, max_value=n - 1))
+    n_left_b = draw(st.integers(min_value=1, max_value=n - 1))
+    first = SplitStats(n, n_plus, n_left_a, side(n_left_a))
+    second = SplitStats(n, n_plus, n_left_b, side(n_left_b))
+    if first.gini_gain() >= second.gini_gain():
+        return first, second
+    return second, first
+
+
+class TestWeakenSplit:
+    def test_enumerates_eight_configs(self):
+        assert len(REMOVAL_CONFIGS) == 8
+        assert len(set(REMOVAL_CONFIGS)) == 8
+
+    def test_returns_none_when_nothing_removable(self):
+        empty = SplitStats(0, 0, 0, 0)
+        assert weaken_split(empty, empty) is None
+
+    def test_applies_most_damaging_removal(self):
+        best = SplitStats(n=20, n_plus=10, n_left=10, n_left_plus=9)
+        candidate = SplitStats(n=20, n_plus=10, n_left=10, n_left_plus=5)
+        step = weaken_split(best, candidate)
+        assert step is not None
+        # The returned statistics reflect exactly one removal.
+        assert step.best_stats.n == 19
+        assert step.candidate_stats.n == 19
+        # The chosen configuration minimises the gain difference among all
+        # applicable configurations.
+        deltas = []
+        for positive, best_left, cand_left in REMOVAL_CONFIGS:
+            if best.can_remove(positive, best_left) and candidate.can_remove(
+                positive, cand_left
+            ):
+                weakened_best = best.after_removal(positive, best_left)
+                weakened_cand = candidate.after_removal(positive, cand_left)
+                deltas.append(weakened_best.gini_gain() - weakened_cand.gini_gain())
+        assert step.delta == pytest.approx(min(deltas))
+
+    def test_respects_applicability(self):
+        # Best split has no positives on the left: configs touching that
+        # quadrant must not be chosen.
+        best = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=0)
+        candidate = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=3)
+        step = weaken_split(best, candidate)
+        assert step is not None
+        positive, best_left, _ = step.config
+        assert not (positive and best_left)
+
+
+class TestIsRobust:
+    def test_zero_budget_is_always_robust(self):
+        best = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=4)
+        candidate = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=3)
+        assert is_robust(best, candidate, 0).robust
+
+    def test_negative_budget_rejected(self):
+        stats = SplitStats(10, 5, 5, 4)
+        with pytest.raises(ValueError):
+            is_robust(stats, stats, -1)
+
+    def test_large_gap_is_robust(self):
+        best = SplitStats(n=100, n_plus=50, n_left=50, n_left_plus=50)
+        candidate = SplitStats(n=100, n_plus=50, n_left=50, n_left_plus=25)
+        assert is_robust(best, candidate, 3).robust
+
+    def test_tight_race_is_not_robust(self):
+        # Nearly identical gains: one removal can reorder them.
+        best = SplitStats(n=20, n_plus=10, n_left=10, n_left_plus=8)
+        candidate = SplitStats(n=20, n_plus=10, n_left=10, n_left_plus=8)
+        result = is_robust(best, candidate, 5)
+        assert not result.robust
+        assert result.reversed_after is not None
+        assert 1 <= result.reversed_after <= 5
+
+    @given(split_pair(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=150, deadline=None)
+    def test_prune_never_changes_the_verdict(self, pair, budget):
+        best, candidate = pair
+        pruned = is_robust(best, candidate, budget, prune=True)
+        unpruned = is_robust(best, candidate, budget, prune=False)
+        assert pruned.robust == unpruned.robust
+
+    @given(split_pair(max_n=25), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_non_robust_verdicts_are_sound(self, pair, budget):
+        """A greedy "non-robust" answer is constructive: the oracle agrees."""
+        best, candidate = pair
+        if not is_robust(best, candidate, budget).robust:
+            assert not enumerate_is_robust(best, candidate, budget)
+
+    @given(split_pair(max_n=25), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_agrees_with_oracle_when_precondition_holds(self, pair, budget):
+        """Within the paper's precondition regime the greedy test is exact.
+
+        The rare disagreements live outside the precondition (quadrant
+        counts below the budget) plus a measured ~0.5% corner documented in
+        EXPERIMENTS.md; this property pins the overwhelmingly common case.
+        """
+        best, candidate = pair
+        trusted = greedy_precondition_holds(best, budget) and greedy_precondition_holds(
+            candidate, budget
+        )
+        gap = best.gini_gain() - candidate.gini_gain()
+        # Restrict to clearly separated pairs, where one-step lookahead
+        # cannot be trapped by plateau effects.
+        if trusted and gap > 0.05:
+            greedy = is_robust(best, candidate, budget).robust
+            oracle = enumerate_is_robust(best, candidate, budget)
+            assert greedy == oracle
+
+
+class TestEnumerateIsRobust:
+    def test_agrees_on_trivial_zero_budget(self):
+        best = SplitStats(10, 5, 5, 4)
+        candidate = SplitStats(10, 5, 5, 3)
+        assert enumerate_is_robust(best, candidate, 0)
+
+    def test_detects_single_removal_reversal(self):
+        # Gains are tied; the oracle must find some removal that puts the
+        # candidate strictly ahead.
+        best = SplitStats(n=8, n_plus=4, n_left=4, n_left_plus=3)
+        candidate = SplitStats(n=8, n_plus=4, n_left=4, n_left_plus=3)
+        assert not enumerate_is_robust(best, candidate, 2)
+
+    def test_honours_quadrant_floors(self):
+        # The only damaging removals would need records that do not exist.
+        best = SplitStats(n=4, n_plus=2, n_left=2, n_left_plus=2)
+        candidate = SplitStats(n=4, n_plus=2, n_left=2, n_left_plus=0)
+        assert enumerate_is_robust(best, candidate, 1)
+
+    def test_rejects_negative_budget(self):
+        stats = SplitStats(10, 5, 5, 4)
+        with pytest.raises(ValueError):
+            enumerate_is_robust(stats, stats, -2)
+
+
+class TestPrecondition:
+    def test_holds_when_all_quadrants_large(self):
+        stats = SplitStats(n=40, n_plus=20, n_left=20, n_left_plus=10)
+        assert greedy_precondition_holds(stats, 5)
+
+    def test_fails_on_small_quadrant(self):
+        stats = SplitStats(n=40, n_plus=20, n_left=20, n_left_plus=19)
+        assert not greedy_precondition_holds(stats, 5)

@@ -1,0 +1,216 @@
+"""Unit and property tests for split statistics and Gini gain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.splits import (
+    CategoricalSplit,
+    NumericSplit,
+    SplitStats,
+    count_split,
+    gini_impurity,
+)
+from repro.dataprep.dataset import Dataset, FeatureKind, FeatureSchema
+from repro.vectorized.kernels import SplitCounts
+
+
+def consistent_stats() -> st.SearchStrategy[SplitStats]:
+    """Strategy generating internally consistent split statistics."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=0, max_value=200))
+        n_plus = draw(st.integers(min_value=0, max_value=n))
+        n_left = draw(st.integers(min_value=0, max_value=n))
+        low = max(0, n_plus - (n - n_left))
+        high = min(n_plus, n_left)
+        n_left_plus = draw(st.integers(min_value=low, max_value=high))
+        return SplitStats(n=n, n_plus=n_plus, n_left=n_left, n_left_plus=n_left_plus)
+
+    return build()
+
+
+class TestGiniImpurity:
+    def test_pure_partition_has_zero_impurity(self):
+        assert gini_impurity(10, 0) == 0.0
+        assert gini_impurity(10, 10) == 0.0
+
+    def test_balanced_partition_has_maximal_impurity(self):
+        assert gini_impurity(10, 5) == pytest.approx(0.5)
+
+    def test_empty_partition_defined_as_zero(self):
+        assert gini_impurity(0, 0) == 0.0
+
+    @given(st.integers(1, 1000), st.data())
+    def test_impurity_bounds(self, n, data):
+        k = data.draw(st.integers(0, n))
+        assert 0.0 <= gini_impurity(n, k) <= 0.5
+
+
+class TestSplitStatsDerived:
+    def test_quadrants(self):
+        stats = SplitStats(n=10, n_plus=6, n_left=4, n_left_plus=3)
+        assert stats.quadrants() == (3, 1, 3, 3)
+        assert stats.n_minus == 4
+        assert stats.n_right == 6
+        assert stats.min_quadrant() == 1
+
+    def test_validate_accepts_consistent(self):
+        SplitStats(n=5, n_plus=2, n_left=3, n_left_plus=1).validate()
+
+    def test_validate_rejects_negative_quadrant(self):
+        bad = SplitStats(n=5, n_plus=2, n_left=1, n_left_plus=2)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    @given(consistent_stats())
+    def test_generated_stats_are_consistent(self, stats):
+        stats.validate()
+
+
+class TestGiniGain:
+    @given(consistent_stats())
+    def test_gain_is_non_negative(self, stats):
+        # Concavity of the Gini impurity: a split never increases impurity.
+        assert stats.gini_gain() >= -1e-12
+
+    @given(consistent_stats())
+    def test_gain_is_bounded(self, stats):
+        assert stats.gini_gain() <= 0.5 + 1e-12
+
+    def test_empty_stats_have_zero_gain(self):
+        assert SplitStats(0, 0, 0, 0).gini_gain() == 0.0
+
+    def test_perfect_split_gains_parent_impurity(self):
+        # Left holds all positives, right all negatives.
+        stats = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=5)
+        assert stats.gini_gain() == pytest.approx(0.5)
+
+    def test_uninformative_split_gains_nothing(self):
+        # Both sides mirror the parent distribution.
+        stats = SplitStats(n=10, n_plus=4, n_left=5, n_left_plus=2)
+        assert stats.gini_gain() == pytest.approx(0.0)
+
+    @given(consistent_stats())
+    def test_gain_invariant_under_side_swap(self, stats):
+        swapped = SplitStats(
+            n=stats.n,
+            n_plus=stats.n_plus,
+            n_left=stats.n_right,
+            n_left_plus=stats.n_right_plus,
+        )
+        assert stats.gini_gain() == pytest.approx(swapped.gini_gain())
+
+    def test_label_constant_data_has_zero_gain(self):
+        stats = SplitStats(n=10, n_plus=0, n_left=4, n_left_plus=0)
+        assert stats.gini_gain() == pytest.approx(0.0)
+
+
+class TestRemoval:
+    def test_remove_updates_counts(self):
+        stats = SplitStats(n=10, n_plus=6, n_left=4, n_left_plus=3)
+        stats.remove(positive=True, left=True)
+        assert (stats.n, stats.n_plus, stats.n_left, stats.n_left_plus) == (9, 5, 3, 2)
+
+    def test_remove_negative_right(self):
+        stats = SplitStats(n=10, n_plus=6, n_left=4, n_left_plus=3)
+        stats.remove(positive=False, left=False)
+        assert (stats.n, stats.n_plus, stats.n_left, stats.n_left_plus) == (9, 6, 4, 3)
+
+    def test_cannot_remove_from_empty_quadrant(self):
+        stats = SplitStats(n=4, n_plus=2, n_left=2, n_left_plus=2)
+        assert not stats.can_remove(positive=False, left=True)
+        with pytest.raises(ValueError):
+            stats.remove(positive=False, left=True)
+
+    def test_after_removal_does_not_mutate(self):
+        stats = SplitStats(n=10, n_plus=6, n_left=4, n_left_plus=3)
+        updated = stats.after_removal(positive=True, left=False)
+        assert stats.n == 10
+        assert updated.n == 9
+        assert updated.n_right_plus == stats.n_right_plus - 1
+
+    @given(consistent_stats())
+    def test_removal_keeps_consistency(self, stats):
+        for positive in (True, False):
+            for left in (True, False):
+                if stats.can_remove(positive, left):
+                    stats.after_removal(positive, left).validate()
+
+    def test_from_counts(self):
+        counts = SplitCounts(n=9, n_plus=4, n_left=5, n_left_plus=2)
+        stats = SplitStats.from_counts(counts)
+        assert (stats.n, stats.n_plus, stats.n_left, stats.n_left_plus) == (9, 4, 5, 2)
+
+
+class TestNumericSplit:
+    def test_goes_left_value(self):
+        split = NumericSplit(feature=0, cut=3)
+        assert split.goes_left_value(2)
+        assert not split.goes_left_value(3)
+
+    def test_goes_left_column(self):
+        split = NumericSplit(feature=0, cut=2)
+        codes = np.asarray([0, 1, 2, 3], dtype=np.uint8)
+        assert split.goes_left_column(codes).tolist() == [True, True, False, False]
+
+    def test_count_matches_manual(self):
+        split = NumericSplit(feature=0, cut=2)
+        codes = np.asarray([0, 1, 2, 3, 1], dtype=np.uint8)
+        labels = np.asarray([1, 0, 1, 1, 1], dtype=np.uint8)
+        stats = split.count(codes, labels)
+        assert (stats.n, stats.n_plus, stats.n_left, stats.n_left_plus) == (5, 4, 3, 2)
+
+    def test_describe_names_the_feature(self):
+        split = NumericSplit(feature=0, cut=7)
+        schema = FeatureSchema("age", FeatureKind.NUMERIC, 20)
+        assert "age" in split.describe(schema)
+
+
+class TestCategoricalSplit:
+    def test_mask_membership(self):
+        split = CategoricalSplit(feature=0, subset_mask=0b0101, cardinality=4)
+        assert split.goes_left_value(0)
+        assert not split.goes_left_value(1)
+        assert split.goes_left_value(2)
+
+    def test_rejects_empty_subset(self):
+        with pytest.raises(ValueError):
+            CategoricalSplit(feature=0, subset_mask=0, cardinality=4)
+
+    def test_rejects_full_subset(self):
+        with pytest.raises(ValueError):
+            CategoricalSplit(feature=0, subset_mask=0b1111, cardinality=4)
+
+    def test_goes_left_column(self):
+        split = CategoricalSplit(feature=0, subset_mask=0b0110, cardinality=4)
+        codes = np.asarray([0, 1, 2, 3], dtype=np.uint8)
+        assert split.goes_left_column(codes).tolist() == [False, True, True, False]
+
+    def test_wide_domain_mask(self):
+        # Python ints support masks beyond 64 bits.
+        cardinality = 70
+        split = CategoricalSplit(feature=0, subset_mask=1 << 65, cardinality=cardinality)
+        assert split.goes_left_value(65)
+        assert not split.goes_left_value(0)
+
+    def test_describe_lists_members(self):
+        split = CategoricalSplit(feature=0, subset_mask=0b101, cardinality=3)
+        schema = FeatureSchema("colour", FeatureKind.CATEGORICAL, 3)
+        described = split.describe(schema)
+        assert "colour" in described
+        assert "0" in described and "2" in described
+
+
+class TestCountSplit:
+    def test_count_split_on_dataset(self):
+        schema = (FeatureSchema("f", FeatureKind.NUMERIC, 4),)
+        dataset = Dataset(
+            schema,
+            [np.asarray([0, 1, 2, 3, 2])],
+            np.asarray([1, 1, 0, 0, 1]),
+        )
+        rows = np.asarray([0, 1, 2, 4])
+        stats = count_split(dataset, rows, NumericSplit(feature=0, cut=2))
+        assert (stats.n, stats.n_plus, stats.n_left, stats.n_left_plus) == (4, 3, 2, 2)

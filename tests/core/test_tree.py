@@ -1,0 +1,204 @@
+"""Tests for the HedgeCut tree builder (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, census, iter_nodes
+from repro.core.params import HedgeCutParams
+from repro.core.splits import CategoricalSplit, NumericSplit
+from repro.core.tree import TreeBuilder, _random_split
+from repro.dataprep.dataset import Dataset, FeatureKind, FeatureSchema
+
+from tests.conftest import make_random_dataset
+
+
+def build_tree(dataset, **param_overrides):
+    params = HedgeCutParams(n_trees=1, seed=0, **param_overrides)
+    rng = np.random.default_rng(7)
+    builder = TreeBuilder(dataset, params, rng)
+    return builder.build(), builder
+
+
+class TestStopConditions:
+    def test_label_constant_data_yields_leaf(self):
+        schema = (FeatureSchema("f", FeatureKind.NUMERIC, 5),)
+        dataset = Dataset(schema, [np.arange(5) % 5], np.ones(5, dtype=np.uint8))
+        tree, _ = build_tree(dataset)
+        assert isinstance(tree.root, Leaf)
+        assert tree.root.n == 5
+        assert tree.root.n_plus == 5
+
+    def test_tiny_data_yields_leaf(self):
+        schema = (FeatureSchema("f", FeatureKind.NUMERIC, 5),)
+        dataset = Dataset(schema, [np.asarray([0, 4])], np.asarray([0, 1]))
+        tree, _ = build_tree(dataset, min_leaf_size=2)
+        assert isinstance(tree.root, Leaf)
+
+    def test_constant_features_yield_leaf(self):
+        schema = (
+            FeatureSchema("f", FeatureKind.NUMERIC, 5),
+            FeatureSchema("g", FeatureKind.CATEGORICAL, 3),
+        )
+        dataset = Dataset(
+            schema,
+            [np.full(10, 2), np.full(10, 1)],
+            np.asarray([0, 1] * 5),
+        )
+        tree, _ = build_tree(dataset)
+        assert isinstance(tree.root, Leaf)
+        assert tree.root.n == 10
+        assert tree.root.n_plus == 5
+
+
+class TestTreeStructure:
+    def test_grows_splits_on_separable_data(self):
+        dataset = make_random_dataset(n_rows=300, seed=1)
+        tree, _ = build_tree(dataset)
+        assert not isinstance(tree.root, Leaf)
+        counts = census(tree.root)
+        assert counts.n_leaves >= 2
+        assert counts.n_internal >= 1
+
+    def test_leaf_counts_partition_the_training_data(self):
+        """Summed leaf statistics reproduce the training set (per variant path)."""
+        dataset = make_random_dataset(n_rows=200, seed=2)
+        tree, _ = build_tree(dataset, robustness_mode="off")
+        total = 0
+        total_plus = 0
+        for node in iter_nodes(tree.root):
+            if isinstance(node, Leaf):
+                total += node.n
+                total_plus += node.n_plus
+        # Without maintenance nodes every record lands in exactly one leaf.
+        assert total == dataset.n_rows
+        assert total_plus == dataset.n_positive
+
+    def test_split_stats_match_children(self):
+        dataset = make_random_dataset(n_rows=250, seed=3)
+        tree, _ = build_tree(dataset)
+        for node in iter_nodes(tree.root):
+            if isinstance(node, SplitNode):
+                assert node.stats.splits_data
+
+    def test_counters_are_consistent(self):
+        dataset = make_random_dataset(n_rows=250, seed=4)
+        tree, builder = build_tree(dataset)
+        counts = census(tree.root)
+        assert builder.counters.leaves == counts.n_leaves
+        assert builder.counters.maintenance_nodes == counts.n_maintenance_nodes
+        assert builder.counters.robust_splits == counts.n_robust_splits
+        assert builder.counters.max_depth >= 1
+
+
+class TestRobustnessModes:
+    def test_off_mode_never_creates_maintenance_nodes(self):
+        dataset = make_random_dataset(n_rows=300, seed=5)
+        tree, _ = build_tree(dataset, robustness_mode="off")
+        assert census(tree.root).n_maintenance_nodes == 0
+
+    def test_greedy_mode_creates_maintenance_nodes_on_noisy_data(self):
+        dataset = make_random_dataset(n_rows=300, seed=5)
+        tree, _ = build_tree(dataset, robustness_mode="greedy", epsilon=0.05)
+        assert census(tree.root).n_maintenance_nodes > 0
+
+    def test_verified_mode_builds_a_valid_tree(self):
+        dataset = make_random_dataset(n_rows=150, seed=6)
+        tree, _ = build_tree(dataset, robustness_mode="verified")
+        assert census(tree.root).n_nodes >= 1
+
+    def test_maintenance_depth_cap_zero_matches_off_structure(self):
+        dataset = make_random_dataset(n_rows=200, seed=7)
+        tree, _ = build_tree(dataset, max_maintenance_depth=0)
+        assert census(tree.root).n_maintenance_nodes == 0
+
+    def test_maintenance_nesting_respects_cap(self):
+        dataset = make_random_dataset(n_rows=300, seed=8)
+        tree, _ = build_tree(dataset, max_maintenance_depth=1, epsilon=0.05)
+
+        def max_nesting(node, depth):
+            if isinstance(node, Leaf):
+                return depth
+            if isinstance(node, SplitNode):
+                return max(max_nesting(node.left, depth), max_nesting(node.right, depth))
+            nested = depth + 1
+            return max(
+                max(
+                    max_nesting(variant.left, nested),
+                    max_nesting(variant.right, nested),
+                )
+                for variant in node.variants
+            )
+
+        assert max_nesting(tree.root, 0) <= 1
+
+    def test_larger_epsilon_grows_more_variants(self):
+        # Single trees are noisy; compare the average structure over a few
+        # random streams (the Figure 5(d)/6(a) trend).
+        dataset = make_random_dataset(n_rows=300, seed=9)
+
+        def mean_nodes(epsilon):
+            # Uncapped maintenance (paper-literal) so the variant growth is
+            # not masked by the depth cap's plain-split fallback.
+            params = HedgeCutParams(
+                n_trees=1, seed=0, epsilon=epsilon, max_maintenance_depth=None
+            )
+            totals = []
+            for seed in range(6):
+                builder = TreeBuilder(dataset, params, np.random.default_rng(seed))
+                totals.append(census(builder.build().root).n_nodes)
+            return float(np.mean(totals))
+
+        assert mean_nodes(0.05) >= mean_nodes(0.001)
+
+
+class TestMaintenanceNodes:
+    def test_variants_store_distinct_splits(self):
+        dataset = make_random_dataset(n_rows=300, seed=10)
+        tree, _ = build_tree(dataset, epsilon=0.05)
+        for node in iter_nodes(tree.root):
+            if isinstance(node, MaintenanceNode):
+                assert len(node.variants) >= 2
+                # The active variant is the argmax of the gains.
+                gains = [variant.gain for variant in node.variants]
+                assert node.active.gain == pytest.approx(max(gains))
+
+    def test_prediction_traverses_active_variant(self):
+        dataset = make_random_dataset(n_rows=300, seed=11)
+        tree, _ = build_tree(dataset, epsilon=0.05)
+        for row in range(0, dataset.n_rows, 37):
+            record = dataset.record(row)
+            assert tree.predict_value(record.values) in (0, 1)
+
+
+class TestRandomSplitDrawing:
+    class _Facade:
+        def __init__(self, schema):
+            self.schema = schema
+
+    def test_numeric_cut_within_range(self):
+        facade = self._Facade((FeatureSchema("f", FeatureKind.NUMERIC, 20),))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            split = _random_split(0, facade, rng)
+            assert isinstance(split, NumericSplit)
+            assert 1 <= split.cut <= 19
+
+    def test_categorical_subset_proper(self):
+        facade = self._Facade((FeatureSchema("c", FeatureKind.CATEGORICAL, 6),))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            split = _random_split(0, facade, rng)
+            assert isinstance(split, CategoricalSplit)
+            assert 0 < split.subset_mask < (1 << 6) - 1
+
+    def test_wide_categorical_domain(self):
+        facade = self._Facade((FeatureSchema("c", FeatureKind.CATEGORICAL, 70),))
+        rng = np.random.default_rng(0)
+        split = _random_split(0, facade, rng)
+        assert isinstance(split, CategoricalSplit)
+        assert 0 < split.subset_mask < (1 << 70) - 1
+
+    def test_single_valued_feature_unsplittable(self):
+        facade = self._Facade((FeatureSchema("c", FeatureKind.CATEGORICAL, 1),))
+        rng = np.random.default_rng(0)
+        assert _random_split(0, facade, rng) is None

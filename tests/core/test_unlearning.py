@@ -1,0 +1,161 @@
+"""Tests for the unlearning traversal (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, iter_nodes
+from repro.core.exceptions import UnlearningError
+from repro.core.params import HedgeCutParams
+from repro.core.tree import TreeBuilder
+from repro.core.unlearning import UnlearningReport, unlearn_from_tree
+from repro.dataprep.dataset import Record
+
+from tests.conftest import make_random_dataset
+
+
+def fresh_tree(seed=0, **param_overrides):
+    dataset = make_random_dataset(n_rows=250, seed=seed)
+    params = HedgeCutParams(n_trees=1, seed=0, **param_overrides)
+    tree = TreeBuilder(dataset, params, np.random.default_rng(seed)).build()
+    return dataset, tree
+
+
+def leaf_totals(root):
+    """Total (n, n_plus) over the leaves of the *active* paths only."""
+    total = 0
+    total_plus = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            total += node.n
+            total_plus += node.n_plus
+        elif isinstance(node, SplitNode):
+            stack.extend((node.left, node.right))
+        else:
+            stack.append(node.active.left)
+            stack.append(node.active.right)
+    return total, total_plus
+
+
+class TestLeafUpdates:
+    def test_unlearning_decrements_exactly_one_active_leaf_path(self):
+        dataset, tree = fresh_tree(seed=1, robustness_mode="off")
+        before = leaf_totals(tree.root)
+        record = dataset.record(0)
+        report = unlearn_from_tree(tree.root, record)
+        after = leaf_totals(tree.root)
+        assert after[0] == before[0] - 1
+        assert after[1] == before[1] - record.label
+        assert report.leaves_updated >= 1
+
+    def test_unlearning_updates_every_variant(self):
+        dataset, tree = fresh_tree(seed=2, epsilon=0.05)
+        maintenance = [
+            node for node in iter_nodes(tree.root) if isinstance(node, MaintenanceNode)
+        ]
+        if not maintenance:
+            pytest.skip("no maintenance node materialised for this seed")
+        node = maintenance[0]
+        before = [variant.stats.n for variant in node.variants]
+        # Find a record routed through this node by direct traversal.
+        record = _record_reaching(tree.root, node, dataset)
+        unlearn_from_tree(tree.root, record)
+        after = [variant.stats.n for variant in node.variants]
+        assert all(b - a == 1 for b, a in zip(before, after))
+
+    def test_split_stats_stay_consistent_with_children(self):
+        dataset, tree = fresh_tree(seed=3)
+        for row in range(0, 20):
+            unlearn_from_tree(tree.root, dataset.record(row))
+        for node in iter_nodes(tree.root):
+            if isinstance(node, SplitNode):
+                node.stats.validate()
+
+
+class TestErrors:
+    def test_unlearning_unknown_record_raises_eventually(self):
+        # Unlearning the same record more times than its leaf holds records
+        # must surface as an error instead of negative counts.
+        dataset, tree = fresh_tree(seed=4, robustness_mode="off")
+        record = dataset.record(0)
+        with pytest.raises(UnlearningError):
+            for _ in range(dataset.n_rows + 1):
+                unlearn_from_tree(tree.root, record)
+
+    def test_empty_leaf_rejects_removal(self):
+        leaf = Leaf(n=0, n_plus=0)
+        with pytest.raises(UnlearningError):
+            unlearn_from_tree(leaf, Record(values=(0,), label=0))
+
+    def test_label_mismatch_rejected(self):
+        leaf = Leaf(n=2, n_plus=0)
+        with pytest.raises(UnlearningError):
+            unlearn_from_tree(leaf, Record(values=(0,), label=1))
+
+
+class TestReports:
+    def test_report_merge_accumulates(self):
+        first = UnlearningReport(1, 2, 3, 4)
+        second = UnlearningReport(10, 20, 30, 40)
+        first.merge(second)
+        assert (
+            first.leaves_updated,
+            first.robust_nodes_visited,
+            first.maintenance_nodes_visited,
+            first.variant_switches,
+        ) == (11, 22, 33, 44)
+
+    def test_report_counts_visited_kinds(self):
+        dataset, tree = fresh_tree(seed=5)
+        report = unlearn_from_tree(tree.root, dataset.record(1))
+        assert report.leaves_updated >= 1
+        assert report.robust_nodes_visited >= 0
+        assert report.variant_switches <= report.maintenance_nodes_visited
+
+
+class TestVariantSwitching:
+    def test_switch_changes_active_variant(self):
+        dataset, tree = fresh_tree(seed=6, epsilon=0.05)
+        maintenance = [
+            node for node in iter_nodes(tree.root) if isinstance(node, MaintenanceNode)
+        ]
+        if not maintenance:
+            pytest.skip("no maintenance node materialised for this seed")
+        node = maintenance[0]
+        # Force a switch by directly degrading the active variant's stats to
+        # an uninformative split, then unlearning a record through the tree.
+        active = node.active
+        runner_up = node.variants[1 if node.active_index == 0 else 0]
+        active.stats.n_left_plus = max(
+            0, min(active.stats.n_left, int(active.stats.n_plus * active.stats.n_left / max(1, active.stats.n)))
+        )
+        switched = node.rescore()
+        # Depending on the generated stats the re-score may or may not
+        # switch; assert only the invariant that the active variant has the
+        # maximal gain afterwards.
+        gains = [variant.gain for variant in node.variants]
+        assert node.active.gain == pytest.approx(max(gains))
+        assert isinstance(switched, bool)
+        assert runner_up in node.variants
+
+
+def _record_reaching(root, target, dataset) -> Record:
+    """Find a training record whose unlearning path visits ``target``."""
+    for row in range(dataset.n_rows):
+        record = dataset.record(row)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node is target:
+                return record
+            if isinstance(node, SplitNode):
+                goes_left = node.split.goes_left_value(record.values[node.split.feature])
+                stack.append(node.left if goes_left else node.right)
+            elif isinstance(node, MaintenanceNode):
+                for variant in node.variants:
+                    goes_left = variant.split.goes_left_value(
+                        record.values[variant.split.feature]
+                    )
+                    stack.append(variant.left if goes_left else variant.right)
+    raise AssertionError("no record reaches the target node")

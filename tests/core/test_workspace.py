@@ -1,0 +1,91 @@
+"""Tests for the in-place partitioned training workspace."""
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import TreeWorkspace
+
+from tests.conftest import make_random_dataset
+
+
+@pytest.fixture()
+def workspace():
+    return TreeWorkspace(make_random_dataset(n_rows=40, seed=91))
+
+
+class TestViews:
+    def test_full_range_views_match_dataset(self):
+        dataset = make_random_dataset(n_rows=30, seed=92)
+        workspace = TreeWorkspace(dataset)
+        for feature in range(dataset.n_features):
+            assert np.array_equal(
+                workspace.codes(feature, 0, 30), dataset.column(feature)
+            )
+        assert np.array_equal(workspace.labels(0, 30), dataset.labels)
+
+    def test_workspace_does_not_mutate_the_dataset(self):
+        dataset = make_random_dataset(n_rows=30, seed=93)
+        original = dataset.column(0).copy()
+        workspace = TreeWorkspace(dataset)
+        mask = workspace.codes(0, 0, 30) < 4
+        workspace.partition(0, 30, mask)
+        assert np.array_equal(dataset.column(0), original)
+
+
+class TestPartition:
+    def test_partition_moves_left_records_front(self, workspace):
+        mask = workspace.codes(0, 0, 40) < 4
+        expected_left = int(mask.sum())
+        mid = workspace.partition(0, 40, mask)
+        assert mid == expected_left
+        assert (workspace.codes(0, 0, mid) < 4).all()
+        assert (workspace.codes(0, mid, 40) >= 4).all()
+
+    def test_partition_preserves_row_alignment(self, workspace):
+        """All columns and labels must be permuted by the same order."""
+        before = [
+            (
+                tuple(int(workspace.codes(f, 0, 40)[row]) for f in range(3)),
+                int(workspace.labels(0, 40)[row]),
+            )
+            for row in range(40)
+        ]
+        mask = workspace.codes(1, 0, 40) < 2
+        workspace.partition(0, 40, mask)
+        after = [
+            (
+                tuple(int(workspace.codes(f, 0, 40)[row]) for f in range(3)),
+                int(workspace.labels(0, 40)[row]),
+            )
+            for row in range(40)
+        ]
+        assert sorted(before) == sorted(after)
+
+    def test_partition_is_stable(self, workspace):
+        """Relative order within each side is preserved."""
+        column = workspace.codes(2, 0, 40).copy()
+        mask = column == 1
+        workspace.partition(0, 40, mask)
+        after = workspace.codes(2, 0, 40)
+        mid = int(mask.sum())
+        assert np.array_equal(after[:mid], column[mask])
+        assert np.array_equal(after[mid:], column[~mask])
+
+    def test_subrange_partition_leaves_outside_untouched(self, workspace):
+        outside_before = workspace.codes(0, 0, 10).copy()
+        mask = workspace.codes(0, 10, 30) < 4
+        workspace.partition(10, 30, mask)
+        assert np.array_equal(workspace.codes(0, 0, 10), outside_before)
+
+    def test_repartitioning_a_range_preserves_its_multiset(self, workspace):
+        """The maintenance-node pattern: partition the same range twice."""
+        original = sorted(workspace.codes(0, 5, 35).tolist())
+        first_mask = workspace.codes(0, 5, 35) < 3
+        workspace.partition(5, 35, first_mask)
+        second_mask = workspace.codes(0, 5, 35) >= 5
+        workspace.partition(5, 35, second_mask)
+        assert sorted(workspace.codes(0, 5, 35).tolist()) == original
+
+    def test_mask_length_mismatch_rejected(self, workspace):
+        with pytest.raises(ValueError):
+            workspace.partition(0, 40, np.ones(10, dtype=bool))

@@ -1,0 +1,128 @@
+"""Tests for the column-oriented dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.dataset import Dataset, FeatureKind, FeatureSchema, Record
+
+
+def simple_dataset():
+    schema = (
+        FeatureSchema("n", FeatureKind.NUMERIC, 10),
+        FeatureSchema("c", FeatureKind.CATEGORICAL, 3),
+    )
+    return Dataset(
+        schema,
+        [np.asarray([0, 5, 9, 3]), np.asarray([0, 1, 2, 1])],
+        np.asarray([0, 1, 1, 0]),
+    )
+
+
+class TestSchema:
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            FeatureSchema("x", FeatureKind.NUMERIC, 0)
+
+    def test_kind_predicates(self):
+        numeric = FeatureSchema("x", FeatureKind.NUMERIC, 5)
+        categorical = FeatureSchema("y", FeatureKind.CATEGORICAL, 5)
+        assert numeric.is_numeric and not numeric.is_categorical
+        assert categorical.is_categorical and not categorical.is_numeric
+
+    def test_bitmask_support_threshold(self):
+        assert FeatureSchema("y", FeatureKind.CATEGORICAL, 32).supports_bitmask
+        assert not FeatureSchema("y", FeatureKind.CATEGORICAL, 33).supports_bitmask
+        assert not FeatureSchema("x", FeatureKind.NUMERIC, 8).supports_bitmask
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dataset = simple_dataset()
+        assert dataset.n_rows == 4
+        assert dataset.n_features == 2
+        assert dataset.n_positive == 2
+        assert len(dataset) == 4
+
+    def test_rejects_schema_column_mismatch(self):
+        schema = (FeatureSchema("n", FeatureKind.NUMERIC, 10),)
+        with pytest.raises(ValueError):
+            Dataset(schema, [np.zeros(3), np.zeros(3)], np.zeros(3))
+
+    def test_rejects_ragged_columns(self):
+        schema = (
+            FeatureSchema("a", FeatureKind.NUMERIC, 10),
+            FeatureSchema("b", FeatureKind.NUMERIC, 10),
+        )
+        with pytest.raises(ValueError):
+            Dataset(schema, [np.zeros(3), np.zeros(4)], np.zeros(3))
+
+    def test_rejects_non_binary_labels(self):
+        schema = (FeatureSchema("n", FeatureKind.NUMERIC, 10),)
+        with pytest.raises(ValueError):
+            Dataset(schema, [np.zeros(3)], np.asarray([0, 1, 2]))
+
+    def test_rejects_out_of_range_codes(self):
+        schema = (FeatureSchema("n", FeatureKind.NUMERIC, 4),)
+        with pytest.raises(ValueError):
+            Dataset(schema, [np.asarray([0, 4])], np.asarray([0, 1]))
+
+    def test_columns_are_read_only(self):
+        dataset = simple_dataset()
+        with pytest.raises(ValueError):
+            dataset.column(0)[0] = 3
+
+    def test_compact_dtypes(self):
+        dataset = simple_dataset()
+        assert dataset.column(0).dtype == np.uint8
+        assert dataset.labels.dtype == np.uint8
+
+    def test_wide_domain_gets_wider_dtype(self):
+        schema = (FeatureSchema("n", FeatureKind.CATEGORICAL, 1000),)
+        dataset = Dataset(schema, [np.asarray([999, 0])], np.asarray([0, 1]))
+        assert dataset.column(0).dtype == np.uint16
+
+
+class TestRecords:
+    def test_record_roundtrip(self):
+        dataset = simple_dataset()
+        record = dataset.record(1)
+        assert record == Record(values=(5, 1), label=1)
+
+    def test_record_out_of_range(self):
+        with pytest.raises(IndexError):
+            simple_dataset().record(4)
+
+    def test_records_iterator(self):
+        dataset = simple_dataset()
+        records = list(dataset.records([0, 2]))
+        assert [record.label for record in records] == [0, 1]
+
+    def test_record_validates_label(self):
+        with pytest.raises(ValueError):
+            Record(values=(1,), label=2)
+
+
+class TestSubsetting:
+    def test_take_preserves_order(self):
+        dataset = simple_dataset()
+        subset = dataset.take(np.asarray([2, 0]))
+        assert subset.n_rows == 2
+        assert subset.record(0).values == (9, 2)
+        assert subset.record(1).values == (0, 0)
+
+    def test_drop_removes_rows(self):
+        dataset = simple_dataset()
+        reduced = dataset.drop([1, 3])
+        assert reduced.n_rows == 2
+        assert reduced.labels.tolist() == [0, 1]
+
+    def test_feature_matrix_shape(self):
+        matrix = simple_dataset().feature_matrix()
+        assert matrix.shape == (4, 2)
+        assert matrix.dtype == np.int64
+
+    def test_feature_index_lookup(self):
+        dataset = simple_dataset()
+        assert dataset.feature_index("c") == 1
+        with pytest.raises(KeyError):
+            dataset.feature_index("missing")

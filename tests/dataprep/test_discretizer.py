@@ -1,0 +1,130 @@
+"""Unit and property tests for the quantile discretizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataprep.discretizer import QuantileDiscretizer
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestFitting:
+    def test_requires_two_buckets(self):
+        with pytest.raises(ValueError):
+            QuantileDiscretizer(n_buckets=1)
+
+    def test_rejects_empty_column(self):
+        with pytest.raises(ValueError):
+            QuantileDiscretizer().fit(np.asarray([]))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            QuantileDiscretizer().fit(np.asarray([1.0, np.nan]))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            QuantileDiscretizer().fit(np.zeros((3, 3)))
+
+    def test_unfitted_access_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = QuantileDiscretizer().cuts
+
+    def test_uniform_data_yields_twenty_buckets(self):
+        rng = np.random.default_rng(0)
+        discretizer = QuantileDiscretizer(20).fit(rng.random(10_000))
+        assert discretizer.n_codes == 20
+        assert len(discretizer.cuts) == 19
+
+    def test_heavy_ties_collapse_buckets(self):
+        values = np.asarray([0.0] * 95 + [1.0] * 5)
+        discretizer = QuantileDiscretizer(20).fit(values)
+        # Only one distinct cut survives between the two values.
+        assert discretizer.n_codes == 2
+
+    def test_constant_column_yields_single_code(self):
+        discretizer = QuantileDiscretizer(20).fit(np.full(100, 3.14))
+        assert discretizer.n_codes == 1
+        assert discretizer.transform(np.asarray([3.14, -1.0, 7.0])).tolist() == [0, 0, 0]
+
+
+class TestTransform:
+    def test_codes_cover_every_bucket(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=20_000)
+        discretizer = QuantileDiscretizer(20).fit(values)
+        codes = discretizer.transform(values)
+        assert set(np.unique(codes)) == set(range(discretizer.n_codes))
+
+    def test_buckets_are_roughly_balanced(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(20_000)
+        discretizer = QuantileDiscretizer(20).fit(values)
+        counts = np.bincount(discretizer.transform(values))
+        assert counts.min() > 0.5 * counts.mean()
+        assert counts.max() < 2.0 * counts.mean()
+
+    def test_dtype_is_uint8_for_few_codes(self):
+        discretizer = QuantileDiscretizer(20).fit(np.random.default_rng(3).random(1000))
+        assert discretizer.transform(np.asarray([0.5])).dtype == np.uint8
+
+    def test_transform_one(self):
+        values = np.arange(100, dtype=np.float64)
+        discretizer = QuantileDiscretizer(4).fit(values)
+        assert discretizer.transform_one(0.0) == 0
+        assert discretizer.transform_one(99.0) == discretizer.n_codes - 1
+
+    @given(st.lists(finite_floats, min_size=5, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_codes_monotone_in_raw_value(self, raw):
+        values = np.asarray(raw)
+        discretizer = QuantileDiscretizer(10).fit(values)
+        ordered = np.sort(values)
+        codes = discretizer.transform(ordered)
+        assert (np.diff(codes.astype(np.int64)) >= 0).all()
+
+    @given(st.lists(finite_floats, min_size=5, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_codes_within_range(self, raw):
+        values = np.asarray(raw)
+        discretizer = QuantileDiscretizer(10).fit(values)
+        probes = np.asarray([values.min() - 1, values.max() + 1, values.mean()])
+        codes = discretizer.transform(probes)
+        assert (codes >= 0).all()
+        assert (codes < discretizer.n_codes).all()
+
+    @given(st.lists(finite_floats, min_size=5, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_transform_is_idempotent_over_refit(self, raw):
+        """Fitting twice on the same data yields identical encodings."""
+        values = np.asarray(raw)
+        first = QuantileDiscretizer(8).fit(values).transform(values)
+        second = QuantileDiscretizer(8).fit(values).transform(values)
+        assert np.array_equal(first, second)
+
+
+class TestBucketBounds:
+    def test_bounds_bracket_the_cuts(self):
+        values = np.arange(1000, dtype=np.float64)
+        discretizer = QuantileDiscretizer(10).fit(values)
+        low, high = discretizer.bucket_bounds(0)
+        assert low == -np.inf
+        assert high == float(discretizer.cuts[0])
+        low, high = discretizer.bucket_bounds(discretizer.n_codes - 1)
+        assert high == np.inf
+
+    def test_bounds_consistent_with_transform(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=5000)
+        discretizer = QuantileDiscretizer(10).fit(values)
+        for code in range(discretizer.n_codes):
+            low, high = discretizer.bucket_bounds(code)
+            probe = (max(low, values.min() - 1) + min(high, values.max() + 1)) / 2
+            assert discretizer.transform_one(probe) == code
+
+    def test_rejects_out_of_range_code(self):
+        discretizer = QuantileDiscretizer(10).fit(np.arange(100, dtype=np.float64))
+        with pytest.raises(ValueError):
+            discretizer.bucket_bounds(discretizer.n_codes)

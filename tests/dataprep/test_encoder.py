@@ -1,0 +1,71 @@
+"""Tests for the categorical encoder."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.encoder import CategoricalEncoder
+
+
+class TestFitting:
+    def test_codes_are_dense_and_sorted(self):
+        encoder = CategoricalEncoder().fit(["banana", "apple", "cherry", "apple"])
+        assert encoder.cardinality == 3
+        assert encoder.transform(["apple", "banana", "cherry"]).tolist() == [0, 1, 2]
+
+    def test_rejects_empty_column(self):
+        with pytest.raises(ValueError):
+            CategoricalEncoder().fit([])
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            CategoricalEncoder().transform_one("x")
+
+    def test_deterministic_across_orderings(self):
+        first = CategoricalEncoder().fit(["b", "a", "c"])
+        second = CategoricalEncoder().fit(["c", "b", "a", "a"])
+        for value in "abc":
+            assert first.transform_one(value) == second.transform_one(value)
+
+
+class TestTransform:
+    def test_transform_returns_int64(self):
+        encoder = CategoricalEncoder().fit(["x", "y"])
+        codes = encoder.transform(["x", "y", "x"])
+        assert codes.dtype == np.int64
+        assert codes.tolist() == [0, 1, 0]
+
+    def test_unseen_value_raises_by_default(self):
+        encoder = CategoricalEncoder().fit(["x", "y"])
+        with pytest.raises(KeyError):
+            encoder.transform_one("z")
+
+    def test_unseen_value_maps_to_sentinel_when_enabled(self):
+        encoder = CategoricalEncoder(allow_unseen=True).fit(["x", "y"])
+        assert encoder.cardinality == 3
+        assert encoder.transform_one("z") == encoder.unseen_code
+        assert encoder.transform_one("x") == 0
+
+    def test_unseen_code_requires_opt_in(self):
+        encoder = CategoricalEncoder().fit(["x"])
+        with pytest.raises(RuntimeError):
+            _ = encoder.unseen_code
+
+    def test_fit_transform(self):
+        encoder = CategoricalEncoder()
+        codes = encoder.fit_transform(["m", "f", "m"])
+        assert codes.tolist() == [1, 0, 1]
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self):
+        encoder = CategoricalEncoder().fit(["red", "green", "blue"])
+        for value in ("red", "green", "blue"):
+            assert encoder.inverse_transform_one(encoder.transform_one(value)) == value
+
+    def test_inverse_of_sentinel_is_none(self):
+        encoder = CategoricalEncoder(allow_unseen=True).fit(["a"])
+        assert encoder.inverse_transform_one(encoder.unseen_code) is None
+
+    def test_inverse_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CategoricalEncoder().inverse_transform_one(0)

@@ -1,0 +1,105 @@
+"""Tests for the end-to-end tabular preprocessor."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.dataset import FeatureKind
+from repro.dataprep.pipeline import RawTable, TabularPreprocessor
+
+
+def raw_table(n_rows=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return RawTable(
+        numeric={
+            "age": rng.integers(18, 80, size=n_rows).astype(np.float64),
+            "income": rng.lognormal(10, 1, size=n_rows),
+        },
+        categorical={"colour": rng.choice(["red", "green", "blue"], size=n_rows)},
+        labels=rng.integers(0, 2, size=n_rows).astype(np.uint8),
+    )
+
+
+class TestRawTable:
+    def test_feature_names_numeric_first(self):
+        table = raw_table()
+        assert table.feature_names == ("age", "income", "colour")
+
+    def test_validate_catches_length_mismatch(self):
+        table = raw_table()
+        broken = RawTable(
+            numeric={"age": np.zeros(3)},
+            categorical=table.categorical,
+            labels=table.labels,
+        )
+        with pytest.raises(ValueError):
+            broken.validate()
+
+    def test_validate_requires_features(self):
+        with pytest.raises(ValueError):
+            RawTable(labels=np.zeros(3)).validate()
+
+
+class TestFitTransform:
+    def test_schema_matches_table(self):
+        preprocessor = TabularPreprocessor(n_buckets=10)
+        dataset = preprocessor.fit_transform(raw_table())
+        kinds = [feature.kind for feature in dataset.schema]
+        assert kinds == [
+            FeatureKind.NUMERIC,
+            FeatureKind.NUMERIC,
+            FeatureKind.CATEGORICAL,
+        ]
+        assert dataset.n_rows == 200
+
+    def test_numeric_codes_bounded_by_buckets(self):
+        preprocessor = TabularPreprocessor(n_buckets=10)
+        dataset = preprocessor.fit_transform(raw_table())
+        assert dataset.column(0).max() < 10
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TabularPreprocessor().transform(raw_table())
+
+    def test_transform_new_sample_with_fitted_proposals(self):
+        preprocessor = TabularPreprocessor(n_buckets=10)
+        preprocessor.fit(raw_table(seed=0))
+        fresh = preprocessor.transform(raw_table(seed=1))
+        assert fresh.n_rows == 200
+
+    def test_is_fitted_flag(self):
+        preprocessor = TabularPreprocessor()
+        assert not preprocessor.is_fitted
+        preprocessor.fit(raw_table())
+        assert preprocessor.is_fitted
+
+
+class TestEncodeRecord:
+    def test_encode_record_matches_dataset_encoding(self):
+        table = raw_table()
+        preprocessor = TabularPreprocessor(n_buckets=10)
+        dataset = preprocessor.fit_transform(table)
+        row = 17
+        raw_values = {
+            "age": float(table.numeric["age"][row]),
+            "income": float(table.numeric["income"][row]),
+            "colour": table.categorical["colour"][row],
+        }
+        record = preprocessor.encode_record(raw_values, label=int(table.labels[row]))
+        assert record == dataset.record(row)
+
+    def test_missing_feature_rejected(self):
+        preprocessor = TabularPreprocessor().fit(raw_table())
+        with pytest.raises(KeyError):
+            preprocessor.encode_record({"age": 30.0}, label=0)
+
+    def test_unseen_category_policy(self):
+        strict = TabularPreprocessor().fit(raw_table())
+        with pytest.raises(KeyError):
+            strict.encode_record(
+                {"age": 30.0, "income": 1000.0, "colour": "violet"}, label=0
+            )
+        lenient = TabularPreprocessor(allow_unseen_categories=True).fit(raw_table())
+        record = lenient.encode_record(
+            {"age": 30.0, "income": 1000.0, "colour": "violet"}, label=0
+        )
+        assert record.values[2] == lenient.schema[2].n_values - 1

@@ -1,0 +1,85 @@
+"""Tests for the dataset registry against Table 1 of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    available_datasets,
+    dataset_info,
+    load_dataset,
+    load_dataset_with_preprocessor,
+    load_raw,
+)
+
+#: The Table 1 schema of the paper: (rows, #numeric, #categorical).
+TABLE1 = {
+    "income": (32_560, 4, 8),
+    "heart": (70_000, 5, 6),
+    "credit": (150_000, 8, 0),
+    "recidivism": (7_214, 4, 6),
+    "purchase": (12_330, 10, 7),
+}
+
+
+class TestRegistry:
+    def test_exactly_the_five_paper_datasets(self):
+        assert set(available_datasets()) == set(TABLE1)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_schemas_match_table1(self, name):
+        rows, n_numeric, n_categorical = TABLE1[name]
+        info = dataset_info(name)
+        assert info.n_users == rows
+        assert info.n_numeric == n_numeric
+        assert info.n_categorical == n_categorical
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_spec_registry_ordered_like_table1(self):
+        assert list(DATASETS) == ["income", "heart", "credit", "recidivism", "purchase"]
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_scaled_loading(self, name):
+        dataset = load_dataset(name, n_rows=500, seed=0)
+        assert dataset.n_rows == 500
+        rows, n_numeric, n_categorical = TABLE1[name]
+        assert dataset.n_features == n_numeric + n_categorical
+        assert 0 < dataset.n_positive < dataset.n_rows
+
+    def test_raw_loading(self):
+        table = load_raw("income", n_rows=300, seed=1)
+        assert table.n_rows == 300
+        assert len(table.numeric) == 4
+        assert len(table.categorical) == 8
+
+    def test_loading_is_deterministic(self):
+        first = load_dataset("purchase", n_rows=400, seed=3)
+        second = load_dataset("purchase", n_rows=400, seed=3)
+        assert np.array_equal(first.labels, second.labels)
+        for index in range(first.n_features):
+            assert np.array_equal(first.column(index), second.column(index))
+
+    def test_loader_with_preprocessor_encodes_requests(self):
+        dataset, preprocessor = load_dataset_with_preprocessor(
+            "income", n_rows=400, seed=2
+        )
+        raw = load_raw("income", n_rows=400, seed=2)
+        row = 7
+        raw_values = {name: raw.numeric[name][row] for name in raw.numeric}
+        raw_values.update(
+            {name: raw.categorical[name][row] for name in raw.categorical}
+        )
+        record = preprocessor.encode_record(raw_values, label=int(raw.labels[row]))
+        assert record == dataset.record(row)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_positive_rates_are_plausible(self, name):
+        dataset = load_dataset(name, n_rows=2000, seed=0)
+        rate = dataset.n_positive / dataset.n_rows
+        expected = DATASETS[name].positive_rate
+        assert abs(rate - expected) < 0.05

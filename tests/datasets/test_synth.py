@@ -1,0 +1,121 @@
+"""Tests for the synthetic dataset engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import (
+    CategoricalFeature,
+    DatasetSpec,
+    NumericFeature,
+    generate_raw,
+    integers,
+    lognormal,
+    normal,
+    uniform,
+    zero_inflated,
+)
+
+
+def tiny_spec(**overrides) -> DatasetSpec:
+    settings = dict(
+        name="tiny",
+        title="Tiny",
+        default_n_rows=500,
+        numeric=(
+            NumericFeature("x", normal(0.0, 1.0)),
+            NumericFeature("y", uniform(0.0, 10.0)),
+        ),
+        categorical=(
+            CategoricalFeature("c", ("a", "b", "c")),
+        ),
+        positive_rate=0.3,
+        n_rules=6,
+        noise_scale=0.5,
+        concept_seed=1,
+    )
+    settings.update(overrides)
+    return DatasetSpec(**settings)
+
+
+class TestSpecs:
+    def test_feature_counts(self):
+        spec = tiny_spec()
+        assert spec.n_features == 3
+        assert spec.n_data_points == 1500
+
+    def test_categorical_needs_values(self):
+        with pytest.raises(ValueError):
+            CategoricalFeature("bad", ("only",))
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            CategoricalFeature("bad", ("a", "b"), weights=(1.0,))
+
+
+class TestGeneration:
+    def test_shapes_and_labels(self):
+        table = generate_raw(tiny_spec(), seed=0)
+        assert table.n_rows == 500
+        assert set(np.unique(np.asarray(table.labels))).issubset({0, 1})
+        assert set(table.numeric) == {"x", "y"}
+        assert set(table.categorical) == {"c"}
+
+    def test_positive_rate_is_respected(self):
+        table = generate_raw(tiny_spec(), n_rows=4000, seed=1)
+        rate = float(np.mean(np.asarray(table.labels)))
+        assert 0.25 < rate < 0.35
+
+    def test_deterministic_per_seed(self):
+        first = generate_raw(tiny_spec(), seed=5)
+        second = generate_raw(tiny_spec(), seed=5)
+        assert np.array_equal(first.labels, second.labels)
+        assert np.allclose(first.numeric["x"], second.numeric["x"])
+
+    def test_different_seeds_differ(self):
+        first = generate_raw(tiny_spec(), seed=1)
+        second = generate_raw(tiny_spec(), seed=2)
+        assert not np.allclose(first.numeric["x"], second.numeric["x"])
+
+    def test_concept_is_shared_across_samples(self):
+        """Two samples of the same dataset follow the same ground truth.
+
+        A model trained on one sample should transfer to another sample far
+        better than chance -- evidence the rule committee is seed-stable.
+        """
+        from repro.baselines.cart import DecisionTreeClassifier
+        from repro.dataprep.pipeline import TabularPreprocessor
+
+        spec = tiny_spec(noise_scale=0.2)
+        preprocessor = TabularPreprocessor(n_buckets=10)
+        train = preprocessor.fit_transform(generate_raw(spec, n_rows=2000, seed=1))
+        test = preprocessor.transform(generate_raw(spec, n_rows=2000, seed=2))
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(train)
+        accuracy = float(np.mean(tree.predict_batch(test) == test.labels))
+        majority = max(
+            float(np.mean(test.labels)), 1 - float(np.mean(test.labels))
+        )
+        assert accuracy > majority + 0.03
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            generate_raw(tiny_spec(), n_rows=0)
+
+
+class TestSamplers:
+    def test_integers_bounds(self):
+        rng = np.random.default_rng(0)
+        values = integers(3, 7)(rng, 1000)
+        assert values.min() >= 3
+        assert values.max() <= 7
+
+    def test_zero_inflated_fraction(self):
+        rng = np.random.default_rng(0)
+        values = zero_inflated(lognormal(2.0, 0.5), 0.6)(rng, 5000)
+        zero_fraction = float(np.mean(values == 0.0))
+        assert 0.5 < zero_fraction < 0.7
+
+    def test_normal_moments(self):
+        rng = np.random.default_rng(0)
+        values = normal(5.0, 2.0)(rng, 20_000)
+        assert abs(values.mean() - 5.0) < 0.1
+        assert abs(values.std() - 2.0) < 0.1

@@ -1,0 +1,91 @@
+"""Tests for ROC/AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.curves import auc_score, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_ranking_has_auc_one(self):
+        scores = np.asarray([0.9, 0.8, 0.2, 0.1])
+        labels = np.asarray([1, 1, 0, 0])
+        assert auc_score(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_ranking_has_auc_zero(self):
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        labels = np.asarray([1, 1, 0, 0])
+        assert auc_score(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, size=4000)
+        assert abs(auc_score(scores, labels) - 0.5) < 0.05
+
+    def test_curve_endpoints(self):
+        scores = np.asarray([0.9, 0.4, 0.6, 0.1])
+        labels = np.asarray([1, 0, 1, 0])
+        curve = roc_curve(scores, labels)
+        assert curve.false_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == 1.0
+        assert curve.true_positive_rate[-1] == 1.0
+
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, size=200)
+        curve = roc_curve(scores, labels)
+        assert (np.diff(curve.false_positive_rate) >= 0).all()
+        assert (np.diff(curve.true_positive_rate) >= 0).all()
+
+    def test_ties_are_collapsed(self):
+        scores = np.asarray([0.5, 0.5, 0.5, 0.5])
+        labels = np.asarray([1, 0, 1, 0])
+        curve = roc_curve(scores, labels)
+        assert len(curve.thresholds) == 1
+        assert auc_score(scores, labels) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.asarray([0.1, 0.9]), np.asarray([1, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.asarray([0.1]), np.asarray([1, 0]))
+
+    @given(st.lists(st.integers(0, 1), min_size=10, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_auc_equals_rank_statistic(self, label_list):
+        """AUC equals the probability a random positive outranks a random
+        negative (the Mann-Whitney U statistic)."""
+        labels = np.asarray(label_list)
+        if labels.sum() in (0, labels.shape[0]):
+            return
+        rng = np.random.default_rng(7)
+        scores = rng.random(labels.shape[0])
+        auc = auc_score(scores, labels)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = sum(
+            (positives > negative).sum() + 0.5 * (positives == negative).sum()
+            for negative in negatives
+        )
+        expected = wins / (len(positives) * len(negatives))
+        assert auc == pytest.approx(expected)
+
+
+class TestModelAuc:
+    def test_hedgecut_scores_rank_better_than_chance(
+        self, fitted_model_session, income_split
+    ):
+        _, test = income_split
+        scores = np.asarray(
+            [
+                fitted_model_session.predict_proba(test.record(row).values)
+                for row in range(test.n_rows)
+            ]
+        )
+        assert auc_score(scores, test.labels) > 0.6

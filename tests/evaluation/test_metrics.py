@@ -1,0 +1,51 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import accuracy, confusion_counts, error_rate
+
+
+class TestAccuracy:
+    def test_perfect_match(self):
+        assert accuracy(np.asarray([1, 0, 1]), np.asarray([1, 0, 1])) == 1.0
+
+    def test_partial_match(self):
+        assert accuracy(np.asarray([1, 0, 1, 0]), np.asarray([1, 1, 1, 1])) == 0.5
+
+    def test_error_rate_complements(self):
+        predicted = np.asarray([1, 0, 0])
+        actual = np.asarray([1, 1, 1])
+        assert accuracy(predicted, actual) + error_rate(predicted, actual) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.asarray([1]), np.asarray([1, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.asarray([]), np.asarray([]))
+
+
+class TestConfusion:
+    def test_counts(self):
+        predicted = np.asarray([1, 1, 0, 0, 1])
+        actual = np.asarray([1, 0, 0, 1, 1])
+        counts = confusion_counts(predicted, actual)
+        assert counts.true_positive == 2
+        assert counts.false_positive == 1
+        assert counts.true_negative == 1
+        assert counts.false_negative == 1
+        assert counts.n == 5
+
+    def test_precision_recall(self):
+        predicted = np.asarray([1, 1, 0, 0])
+        actual = np.asarray([1, 0, 0, 1])
+        counts = confusion_counts(predicted, actual)
+        assert counts.precision == pytest.approx(0.5)
+        assert counts.recall == pytest.approx(0.5)
+
+    def test_degenerate_precision(self):
+        counts = confusion_counts(np.asarray([0, 0]), np.asarray([1, 1]))
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0

@@ -1,0 +1,47 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.splits import train_test_split
+
+from tests.conftest import make_random_dataset
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        dataset = make_random_dataset(n_rows=100, seed=0)
+        train, test = train_test_split(dataset, test_fraction=0.2, seed=0)
+        assert train.n_rows == 80
+        assert test.n_rows == 20
+
+    def test_split_is_a_partition(self):
+        dataset = make_random_dataset(n_rows=100, seed=1)
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=1)
+        assert train.n_rows + test.n_rows == dataset.n_rows
+        # The multiset of labels is preserved.
+        combined = np.concatenate([train.labels, test.labels])
+        assert sorted(combined.tolist()) == sorted(dataset.labels.tolist())
+
+    def test_deterministic_per_seed(self):
+        dataset = make_random_dataset(n_rows=100, seed=2)
+        first = train_test_split(dataset, 0.2, seed=7)
+        second = train_test_split(dataset, 0.2, seed=7)
+        assert np.array_equal(first[0].labels, second[0].labels)
+
+    def test_different_seeds_shuffle_differently(self):
+        dataset = make_random_dataset(n_rows=100, seed=3)
+        first, _ = train_test_split(dataset, 0.2, seed=1)
+        second, _ = train_test_split(dataset, 0.2, seed=2)
+        assert not np.array_equal(first.column(0), second.column(0))
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_fraction_rejected(self, fraction):
+        dataset = make_random_dataset(n_rows=10, seed=4)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, fraction)
+
+    def test_degenerate_split_rejected(self):
+        dataset = make_random_dataset(n_rows=3, seed=5)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 0.01)

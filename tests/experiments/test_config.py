@@ -1,0 +1,50 @@
+"""Tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import MIN_ROWS, ExperimentConfig
+
+
+class TestConfig:
+    def test_defaults_cover_all_datasets(self):
+        config = ExperimentConfig()
+        assert set(config.datasets) == {
+            "income",
+            "heart",
+            "credit",
+            "recidivism",
+            "purchase",
+        }
+
+    def test_rows_scale_with_dataset_size(self):
+        config = ExperimentConfig(scale=0.1)
+        assert config.rows_for("credit") == 15_000
+        assert config.rows_for("income") == 3_256
+
+    def test_rows_floor(self):
+        config = ExperimentConfig(scale=0.001)
+        assert config.rows_for("recidivism") == MIN_ROWS
+
+    def test_full_scale_matches_table1(self):
+        config = ExperimentConfig(scale=1.0)
+        assert config.rows_for("income") == 32_560
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, 1.5])
+    def test_invalid_scale_rejected(self, scale):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=scale)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(datasets=("income", "imagenet"))
+
+    def test_run_seed_is_deterministic_and_distinct(self):
+        config = ExperimentConfig(seed=10)
+        assert config.run_seed(0) == config.run_seed(0)
+        assert config.run_seed(0) != config.run_seed(1)
+        assert config.run_seed(0, salt=1) != config.run_seed(0, salt=2)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(n_trees=3)
+        assert config.n_trees == 3
+        assert config.scale == ExperimentConfig().scale

@@ -1,0 +1,165 @@
+"""Smoke and shape tests for every experiment driver.
+
+Each driver runs at a deliberately tiny configuration -- the goal here is
+to pin the result *structure* (one row per dataset, well-formed tables,
+sane value ranges); the benchmark suite exercises the drivers at the
+meaningful scales.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure3,
+    figure4a,
+    figure4b,
+    figure4c,
+    figure5,
+    figure6,
+    greedy_validation,
+    table1,
+    table2,
+    vectorisation,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=0.001,  # floors at MIN_ROWS per dataset
+        n_trees=2,
+        repeats=2,
+        seed=7,
+        datasets=("recidivism",),
+    )
+
+
+class TestTable1:
+    def test_lists_all_five_datasets(self):
+        result = table1.dataset_statistics()
+        assert len(result.rows) == 5
+        rendered = result.format_table()
+        assert "income" in rendered
+        assert "150,000" in rendered
+
+
+class TestGreedyValidation:
+    def test_small_run_structure(self):
+        result = greedy_validation.run(
+            robustness_values=(2,), trials_per_value=50, seed=0
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.trials == 50
+        assert 0 <= row.disagreements <= row.trials
+        assert row.trusted_trials <= row.trials
+        assert 0.0 <= row.non_robust_fraction <= 1.0
+        assert "r" in result.format_table()
+
+
+class TestFigure3:
+    def test_unlearning_is_orders_of_magnitude_faster(self, tiny_config):
+        result = figure3.run(tiny_config, unlearn_samples=5)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        # Even at toy scale, in-place unlearning beats ensemble retraining
+        # by a wide margin.
+        assert row.speedup_over("random forest") > 10
+        assert row.speedup_over("ert") > 10
+        assert "speedup" in result.format_table()
+
+
+class TestTable2:
+    def test_throughput_rows(self, tiny_config):
+        result = table2.run(tiny_config, n_requests=100)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.predictions_per_second.mean > 0
+        assert row.predictions_per_second_with_unlearning.mean > 0
+        assert 0.0 <= row.ks_p_value <= 1.0
+        assert "predictions/sec" in result.format_table()
+
+
+class TestFigure4a:
+    def test_unlearn_and_retrain_accuracies_close(self, tiny_config):
+        result = figure4a.run(tiny_config)
+        row = result.rows[0]
+        assert 0.0 <= row.accuracy_unlearned.mean <= 1.0
+        assert abs(row.accuracy_unlearned.mean - row.accuracy_retrained.mean) < 0.2
+        assert "unlearn" in result.format_table()
+
+
+class TestFigure4b:
+    def test_accuracy_table_structure(self, tiny_config):
+        result = figure4b.run(tiny_config)
+        row = result.rows[0]
+        assert set(row.accuracies) == {
+            "decision tree",
+            "random forest",
+            "ert",
+            "hedgecut",
+        }
+        for stats in row.accuracies.values():
+            assert 0.0 <= stats.mean <= 1.0
+
+
+class TestFigure4c:
+    def test_training_times_positive(self, tiny_config):
+        result = figure4c.run(tiny_config)
+        row = result.rows[0]
+        for stats in row.training_ms.values():
+            assert stats.mean > 0
+
+
+class TestVectorisation:
+    def test_micro_benchmark_structure(self):
+        result = vectorisation.run(
+            numeric_records=2000, categorical_records=1000, inner_loops=1, repeats=1
+        )
+        assert {timing.kernel for timing in result.numeric} == {
+            "branching",
+            "predicated",
+            "vectorised",
+            "mlpack",
+        }
+        vectorised = next(
+            timing for timing in result.numeric if timing.kernel == "vectorised"
+        )
+        branching = next(
+            timing for timing in result.numeric if timing.kernel == "branching"
+        )
+        # numpy bulk kernels must beat the scalar loop decisively.
+        assert vectorised.microseconds < branching.microseconds
+        assert "credit" in result.format_table()
+
+
+class TestFigure5:
+    def test_b_sweep_structure(self, tiny_config):
+        result = figure5.run_b_sweep(tiny_config, values=(1, 5))
+        assert len(result.points) == 2
+        relative = result.relative_runtime("recidivism")
+        assert relative[1.0] == pytest.approx(1.0)
+        assert "B" in result.format_table()
+
+    def test_epsilon_sweep_structure(self, tiny_config):
+        result = figure5.run_epsilon_sweep(tiny_config, values=(0.001, 0.01))
+        assert len(result.points) == 2
+        for point in result.points:
+            assert 0.0 <= point.accuracy.mean <= 1.0
+
+
+class TestFigure6:
+    def test_non_robust_fraction_structure(self, tiny_config):
+        result = figure6.run_non_robust_fraction(tiny_config, epsilons=(0.001, 0.02))
+        assert len(result.points) == 2
+        for point in result.points:
+            assert 0.0 <= point.non_robust_fraction.mean < 1.0
+        growth = result.node_growth("recidivism")
+        assert growth[0.001] == pytest.approx(1.0)
+
+    def test_split_switches_structure(self, tiny_config):
+        result = figure6.run_split_switches(tiny_config, leaf_sizes=(2, 32))
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.switches_per_tree.mean >= 0.0
+        assert "leaf size" in result.format_table()

@@ -1,0 +1,32 @@
+"""Tests for the Figure 1 pipeline-contrast driver."""
+
+import pytest
+
+from repro.experiments import figure1
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        scale=0.001, n_trees=2, repeats=1, seed=3, datasets=("recidivism",)
+    )
+    return figure1.run(config)
+
+
+class TestFigure1Driver:
+    def test_pipeline_report_covers_all_stages(self, result):
+        stages = [timing.stage for timing in result.pipeline_report.timings]
+        assert "provisioning" in stages
+        assert "retraining" in stages
+        assert "traffic switch" in stages
+
+    def test_inplace_is_orders_of_magnitude_faster(self, result):
+        assert result.inplace_seconds > 0
+        assert result.speedup > 1000
+
+    def test_format_table_mentions_both_paths(self, result):
+        rendered = result.format_table()
+        assert "retrain-and-redeploy" in rendered
+        assert "in-place unlearning" in rendered
+        assert "difference" in rendered

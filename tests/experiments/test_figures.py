@@ -1,0 +1,71 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.figures import grouped_bars, horizontal_bars, line_series
+
+
+class TestHorizontalBars:
+    def test_scales_to_peak(self):
+        rendered = horizontal_bars({"a": 10.0, "b": 5.0}, unit=" ms")
+        lines = rendered.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "10.0 ms" in lines[0]
+
+    def test_title(self):
+        rendered = horizontal_bars({"a": 1.0}, title="T")
+        assert rendered.splitlines()[0] == "T"
+
+    def test_log_scale_compresses(self):
+        linear = horizontal_bars({"big": 1_000_000.0, "small": 100.0})
+        logged = horizontal_bars({"big": 1_000_000.0, "small": 100.0}, log_scale=True)
+        small_linear = linear.splitlines()[1].count("#")
+        small_logged = logged.splitlines()[1].count("#")
+        assert small_logged > small_linear
+        assert "log scale" in logged
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            horizontal_bars({})
+        with pytest.raises(ValueError):
+            horizontal_bars({"a": -1.0})
+
+    def test_zero_value_gets_no_bar(self):
+        rendered = horizontal_bars({"zero": 0.0, "one": 1.0})
+        assert rendered.splitlines()[0].count("#") == 0
+
+
+class TestGroupedBars:
+    def test_one_block_per_group(self):
+        rendered = grouped_bars(
+            {"income": {"a": 1.0}, "heart": {"a": 2.0}}, title="F"
+        )
+        assert "-- income --" in rendered
+        assert "-- heart --" in rendered
+        assert rendered.splitlines()[0] == "F"
+
+
+class TestLineSeries:
+    def test_plots_markers_and_legend(self):
+        rendered = line_series(
+            {"income": [(1, 0.8), (5, 0.75)], "heart": [(1, 0.7), (5, 0.72)]},
+            title="Figure 5(a)",
+            y_label="accuracy",
+        )
+        assert "Figure 5(a)" in rendered
+        assert "o=income" in rendered
+        assert "x=heart" in rendered
+        assert "(y: accuracy)" in rendered
+
+    def test_axis_labels_show_x_values(self):
+        rendered = line_series({"s": [(1, 0.0), (100, 1.0)]})
+        assert "1" in rendered
+        assert "100" in rendered
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_series({})
+
+    def test_constant_series_handled(self):
+        rendered = line_series({"flat": [(1, 0.5), (2, 0.5)]})
+        assert "0.500" in rendered

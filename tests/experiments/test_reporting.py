@@ -1,0 +1,31 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        rendered = format_table(
+            headers=("name", "value"),
+            rows=[("alpha", 1), ("b", 22)],
+            title="My table",
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1].startswith("name")
+        assert "-----" in lines[2]
+        assert lines[3].startswith("alpha")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(headers=("a", "b"), rows=[("only-one",)])
+
+    def test_empty_rows_allowed(self):
+        rendered = format_table(headers=("a",), rows=[])
+        assert "a" in rendered
+
+    def test_cells_are_stringified(self):
+        rendered = format_table(headers=("x",), rows=[(3.14,)])
+        assert "3.14" in rendered

@@ -1,0 +1,138 @@
+"""Behaviour tests for the experiment result objects and their rendering.
+
+The drivers' result dataclasses carry derived quantities (speed-ups,
+relative runtimes, node growth) that EXPERIMENTS.md and the benchmark
+assertions rely on; these tests pin them on hand-built instances, without
+retraining anything.
+"""
+
+import pytest
+
+from repro.evaluation.stats import RunStats
+from repro.experiments.figure3 import Figure3Result, Figure3Row
+from repro.experiments.figure4b import Figure4bResult, Figure4bRow
+from repro.experiments.figure5 import SweepPoint, SweepResult
+from repro.experiments.figure6 import NonRobustPoint, NonRobustResult
+from repro.experiments.vectorisation import KernelTiming
+
+
+def stats(mean, std=0.0):
+    return RunStats(mean=mean, std=std, n_runs=3)
+
+
+class TestFigure3Row:
+    def make_row(self):
+        return Figure3Row(
+            dataset="income",
+            hedgecut_unlearn_us=stats(100.0),
+            baseline_retrain_us={
+                "decision tree": stats(50_000.0),
+                "random forest": stats(200_000.0),
+                "ert": stats(300_000.0),
+            },
+        )
+
+    def test_speedup(self):
+        row = self.make_row()
+        assert row.speedup_over("ert") == pytest.approx(3000.0)
+        assert row.speedup_over("decision tree") == pytest.approx(500.0)
+
+    def test_table_and_figure_render(self):
+        result = Figure3Result(rows=(self.make_row(),))
+        table = result.format_table()
+        assert "income" in table
+        assert "3000x" in table
+        figure = result.format_figure()
+        assert "hedgecut (unlearn)" in figure
+        assert "log scale" in figure
+
+
+class TestFigure4bRow:
+    def test_ensemble_ordering_predicate(self):
+        row = Figure4bRow(
+            dataset="heart",
+            accuracies={
+                "decision tree": stats(0.70),
+                "random forest": stats(0.75),
+                "ert": stats(0.76),
+                "hedgecut": stats(0.76),
+            },
+        )
+        assert row.ensemble_beats_single_tree()
+        worse = Figure4bRow(
+            dataset="heart",
+            accuracies={
+                "decision tree": stats(0.80),
+                "random forest": stats(0.75),
+                "ert": stats(0.76),
+                "hedgecut": stats(0.76),
+            },
+        )
+        assert not worse.ensemble_beats_single_tree()
+
+    def test_figure_render(self):
+        result = Figure4bResult(
+            rows=(
+                Figure4bRow(
+                    dataset="heart",
+                    accuracies={
+                        "decision tree": stats(0.70),
+                        "random forest": stats(0.75),
+                        "ert": stats(0.76),
+                        "hedgecut": stats(0.76),
+                    },
+                ),
+            )
+        )
+        rendered = result.format_figure()
+        assert "-- heart --" in rendered
+
+
+class TestSweepResult:
+    def make_result(self):
+        return SweepResult(
+            parameter="epsilon",
+            points=(
+                SweepPoint("income", 0.001, stats(0.80), stats(100.0)),
+                SweepPoint("income", 0.02, stats(0.80), stats(150.0)),
+                SweepPoint("heart", 0.001, stats(0.75), stats(200.0)),
+                SweepPoint("heart", 0.02, stats(0.74), stats(260.0)),
+            ),
+        )
+
+    def test_relative_runtime_anchors_at_first_value(self):
+        result = self.make_result()
+        relative = result.relative_runtime("income")
+        assert relative[0.001] == pytest.approx(1.0)
+        assert relative[0.02] == pytest.approx(1.5)
+
+    def test_for_dataset_filters(self):
+        result = self.make_result()
+        assert len(result.for_dataset("heart")) == 2
+
+    def test_table_and_figure_render(self):
+        result = self.make_result()
+        assert "epsilon" in result.format_table()
+        assert "accuracy" in result.format_figure()
+
+
+class TestNonRobustResult:
+    def test_node_growth_anchors_at_smallest_epsilon(self):
+        result = NonRobustResult(
+            points=(
+                NonRobustPoint("income", 0.001, stats(0.01), stats(1000.0)),
+                NonRobustPoint("income", 0.02, stats(0.03), stats(1800.0)),
+            )
+        )
+        growth = result.node_growth("income")
+        assert growth[0.001] == pytest.approx(1.0)
+        assert growth[0.02] == pytest.approx(1.8)
+        assert "node growth" in result.format_table()
+
+
+class TestKernelTiming:
+    def test_relative_to_baseline(self):
+        timing = KernelTiming(kernel="vectorised", microseconds=50.0)
+        assert timing.relative_to(100.0) == pytest.approx(-0.5)
+        slower = KernelTiming(kernel="predicated", microseconds=150.0)
+        assert slower.relative_to(100.0) == pytest.approx(0.5)

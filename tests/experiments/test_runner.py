@@ -1,0 +1,72 @@
+"""Tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.baselines.cart import DecisionTreeClassifier
+from repro.baselines.ert import ExtraTreesClassifier
+from repro.baselines.forest import RandomForestClassifier
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    BASELINE_NAMES,
+    make_baseline,
+    make_hedgecut,
+    prepare,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=0.001, n_trees=3, repeats=1, datasets=("income",))
+
+
+class TestPrepare:
+    def test_prepare_splits_eighty_twenty(self, config):
+        data = prepare(config, "income", run_index=0)
+        total = data.train.n_rows + data.test.n_rows
+        assert total == config.rows_for("income")
+        assert data.test.n_rows == pytest.approx(total * 0.2, abs=1)
+
+    def test_prepare_is_deterministic(self, config):
+        first = prepare(config, "income", run_index=0)
+        second = prepare(config, "income", run_index=0)
+        assert first.train.labels.tolist() == second.train.labels.tolist()
+
+    def test_runs_differ(self, config):
+        first = prepare(config, "income", run_index=0)
+        second = prepare(config, "income", run_index=1)
+        assert first.train.labels.tolist() != second.train.labels.tolist()
+
+
+class TestFactories:
+    def test_make_hedgecut_uses_config(self, config):
+        model = make_hedgecut(config, seed=1)
+        assert model.params.n_trees == config.n_trees
+        assert model.params.epsilon == config.epsilon
+        assert model.params.seed == 1
+
+    def test_make_hedgecut_overrides(self, config):
+        model = make_hedgecut(config, seed=1, epsilon=0.02, min_leaf_size=8)
+        assert model.params.epsilon == 0.02
+        assert model.params.min_leaf_size == 8
+
+    def test_make_baseline_types(self, config):
+        assert isinstance(
+            make_baseline("decision tree", config, 0), DecisionTreeClassifier
+        )
+        assert isinstance(
+            make_baseline("random forest", config, 0), RandomForestClassifier
+        )
+        assert isinstance(make_baseline("ert", config, 0), ExtraTreesClassifier)
+
+    def test_baseline_names_cover_paper(self):
+        assert BASELINE_NAMES == ("decision tree", "random forest", "ert")
+
+    def test_unknown_baseline_rejected(self, config):
+        with pytest.raises(ValueError):
+            make_baseline("xgboost", config, 0)
+
+    def test_ensemble_baselines_share_tree_count(self, config):
+        forest = make_baseline("random forest", config, 0)
+        ert = make_baseline("ert", config, 0)
+        assert forest.n_estimators == config.n_trees
+        assert ert.n_estimators == config.n_trees

@@ -1,0 +1,115 @@
+"""Failure-injection tests: the model must fail loudly, never corrupt.
+
+A deployed model that mutates in place must defend its invariants against
+operational mistakes: double deletions, records from the wrong dataset,
+malformed requests, exhausted budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.exceptions import (
+    DeletionBudgetExhausted,
+    NotFittedError,
+    UnlearningError,
+)
+from repro.dataprep.dataset import Record
+
+from tests.conftest import make_random_dataset
+
+
+@pytest.fixture()
+def model_and_data():
+    dataset = make_random_dataset(n_rows=250, seed=51)
+    model = HedgeCutClassifier(n_trees=3, epsilon=0.05, seed=51)
+    model.fit(dataset)
+    return model, dataset
+
+
+class TestDoubleDeletion:
+    def test_deleting_the_same_unique_record_twice_fails(self, model_and_data):
+        model, dataset = model_and_data
+        # Construct a record that is unique in the dataset by checking the
+        # feature matrix; duplicated feature rows are legal to delete twice
+        # (two users may share encoded values), unique ones are not.
+        matrix = dataset.feature_matrix()
+        _, first_index, counts = np.unique(
+            np.column_stack([matrix, dataset.labels]),
+            axis=0,
+            return_index=True,
+            return_counts=True,
+        )
+        unique_rows = first_index[counts == 1]
+        if unique_rows.size == 0:
+            pytest.skip("no unique record in this sample")
+        record = dataset.record(int(unique_rows[0]))
+        model.unlearn(record)
+        with pytest.raises(UnlearningError):
+            model.unlearn(record, allow_budget_overrun=True)
+
+    def test_failed_unlearn_surfaces_rather_than_corrupts(self, model_and_data):
+        model, dataset = model_and_data
+        foreign = Record(values=tuple(0 for _ in range(dataset.n_features)), label=1)
+        try:
+            while True:
+                model.unlearn(foreign, allow_budget_overrun=True)
+        except UnlearningError:
+            pass
+        # The model keeps serving predictions after the failure.
+        predictions = model.predict_batch(dataset)
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+
+class TestMalformedRequests:
+    def test_wrong_arity_record(self, model_and_data):
+        model, _ = model_and_data
+        with pytest.raises(UnlearningError):
+            model.unlearn(Record(values=(1, 2), label=0))
+
+    def test_non_record_payload(self, model_and_data):
+        model, _ = model_and_data
+        with pytest.raises(TypeError):
+            model.unlearn([0, 1, 2])
+
+    def test_record_rejects_non_binary_label(self):
+        with pytest.raises(ValueError):
+            Record(values=(0, 0, 0), label=7)
+
+
+class TestBudget:
+    def test_budget_exhaustion_is_a_hard_stop(self, model_and_data):
+        model, dataset = model_and_data
+        for row in range(model.deletion_budget):
+            model.unlearn(dataset.record(row))
+        with pytest.raises(DeletionBudgetExhausted):
+            model.unlearn(dataset.record(model.deletion_budget))
+        # The failed request must not have been half-applied.
+        assert model.n_unlearned == model.deletion_budget
+
+    def test_refit_resets_budget(self, model_and_data):
+        model, dataset = model_and_data
+        model.unlearn(dataset.record(0))
+        assert model.n_unlearned == 1
+        model.fit(dataset)
+        assert model.n_unlearned == 0
+        assert model.remaining_deletion_budget == model.deletion_budget
+
+
+class TestLifecycle:
+    def test_unfitted_model_rejects_everything(self):
+        model = HedgeCutClassifier(n_trees=2)
+        with pytest.raises(NotFittedError):
+            model.predict((0,))
+        with pytest.raises(NotFittedError):
+            model.node_census()
+        with pytest.raises(NotFittedError):
+            _ = model.schema
+
+    def test_prediction_with_out_of_domain_codes(self, model_and_data):
+        """Codes beyond the training domain route like extreme values."""
+        model, dataset = model_and_data
+        extreme = tuple(
+            feature.n_values + 5 for feature in model.schema
+        )
+        assert model.predict(extreme) in (0, 1)

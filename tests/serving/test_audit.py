@@ -1,0 +1,67 @@
+"""Tests for the unlearning audit log."""
+
+import pytest
+
+from repro.core.exceptions import DeletionBudgetExhausted
+from repro.dataprep.dataset import Record
+from repro.serving.audit import AuditedUnlearner, AuditEntry
+
+
+class TestAuditEntry:
+    def test_json_roundtrip(self):
+        entry = AuditEntry(
+            request_id="req-1",
+            timestamp=123.0,
+            succeeded=True,
+            latency_us=42.0,
+            leaves_updated=5,
+            variant_switches=1,
+        )
+        assert AuditEntry.from_json(entry.to_json()) == entry
+
+
+class TestAuditedUnlearner:
+    def test_successful_request_is_recorded(self, fitted_model, income_split):
+        train, _ = income_split
+        audited = AuditedUnlearner(fitted_model)
+        entry = audited.unlearn("req-1", train.record(0))
+        assert entry.succeeded
+        assert entry.leaves_updated >= len(fitted_model.trees)
+        assert audited.n_succeeded == 1
+        assert audited.n_failed == 0
+        assert audited.evidence_for("req-1") is entry
+
+    def test_failed_request_is_recorded_not_raised(self, fitted_model):
+        audited = AuditedUnlearner(fitted_model)
+        bad = Record(values=(0,), label=0)  # wrong arity
+        entry = audited.unlearn("req-bad", bad)
+        assert not entry.succeeded
+        assert entry.error is not None
+        assert audited.n_failed == 1
+        assert list(audited.failures()) == [entry]
+
+    def test_strict_mode_reraises(self, fitted_model, income_split):
+        train, _ = income_split
+        audited = AuditedUnlearner(fitted_model, strict=True)
+        for row in range(fitted_model.deletion_budget):
+            audited.unlearn(f"req-{row}", train.record(row))
+        with pytest.raises(DeletionBudgetExhausted):
+            audited.unlearn("req-over", train.record(fitted_model.deletion_budget))
+        # The failure is still recorded before re-raising.
+        assert not audited.evidence_for("req-over").succeeded
+
+    def test_unknown_request_lookup(self, fitted_model):
+        audited = AuditedUnlearner(fitted_model)
+        with pytest.raises(KeyError):
+            audited.evidence_for("nope")
+
+    def test_log_persistence(self, tmp_path, fitted_model, income_split):
+        train, _ = income_split
+        audited = AuditedUnlearner(fitted_model)
+        audited.unlearn("req-1", train.record(0))
+        audited.unlearn("req-2", Record(values=(0,), label=0))
+        path = tmp_path / "audit.jsonl"
+        audited.write_log(path)
+        restored = AuditedUnlearner.read_log(path)
+        assert [entry.request_id for entry in restored] == ["req-1", "req-2"]
+        assert restored[0].succeeded and not restored[1].succeeded

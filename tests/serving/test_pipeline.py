@@ -1,0 +1,138 @@
+"""Tests for the heavyweight retrain-and-redeploy pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cart import DecisionTreeClassifier
+from repro.serving.pipeline import (
+    DeploymentReport,
+    ModelRegistry,
+    PipelineCosts,
+    RetrainingPipeline,
+    StageTiming,
+)
+
+from tests.conftest import make_random_dataset
+
+
+@pytest.fixture()
+def data():
+    dataset = make_random_dataset(n_rows=300, seed=41)
+    return dataset.take(np.arange(240)), dataset.take(np.arange(240, 300))
+
+
+def make_pipeline(**kwargs):
+    return RetrainingPipeline(
+        model_factory=lambda: DecisionTreeClassifier(min_samples_leaf=5),
+        costs=PipelineCosts(simulate_delays=False),
+        **kwargs,
+    )
+
+
+class TestRegistry:
+    def test_empty_registry_has_no_current(self):
+        with pytest.raises(LookupError):
+            _ = ModelRegistry().current
+
+    def test_push_and_rollback(self):
+        registry = ModelRegistry()
+        registry.push(model=object(), validation_accuracy=0.8)
+        registry.push(model=object(), validation_accuracy=0.9)
+        assert registry.current.version == 2
+        registry.rollback()
+        assert registry.current.version == 1
+        with pytest.raises(LookupError):
+            registry.rollback()
+
+    def test_history_is_ordered(self):
+        registry = ModelRegistry()
+        registry.push(object(), 0.7)
+        registry.push(object(), 0.8)
+        assert [version.version for version in registry.history()] == [1, 2]
+
+
+class TestPipelineRun:
+    def test_runs_all_five_stages(self, data):
+        train, validation = data
+        pipeline = make_pipeline()
+        report = pipeline.run(train, validation)
+        stages = [timing.stage for timing in report.timings]
+        assert stages == [
+            "provisioning",
+            "data loading",
+            "retraining",
+            "validation",
+            "canary",
+            "traffic switch",
+        ]
+        assert pipeline.registry.n_versions == 1
+        assert report.canary_accuracy is not None
+
+    def test_retraining_is_measured_not_simulated(self, data):
+        train, validation = data
+        report = make_pipeline().run(train, validation)
+        retraining = next(t for t in report.timings if t.stage == "retraining")
+        assert not retraining.simulated
+        assert retraining.seconds > 0
+
+    def test_operational_costs_dominate(self, data):
+        """The Figure 1 point: the pipeline overhead dwarfs the training."""
+        train, validation = data
+        report = make_pipeline().run(train, validation)
+        operational = sum(t.seconds for t in report.timings if t.simulated)
+        assert operational > 10 * report.stage_seconds("retraining")
+
+    def test_data_loading_scales_with_rows(self, data):
+        train, validation = data
+        report = make_pipeline().run(train, validation)
+        expected = PipelineCosts().data_loading_s_per_million_rows * (
+            train.n_rows / 1e6
+        )
+        assert report.stage_seconds("data loading") == pytest.approx(expected)
+
+    def test_deletion_request_retrains_on_reduced_data(self, data):
+        train, validation = data
+        pipeline = make_pipeline()
+        report = pipeline.serve_deletion_request(train, validation, removed_rows=[0, 1])
+        assert report.total_seconds > 0
+        assert pipeline.registry.n_versions == 1
+
+    def test_format_summary_lists_stages(self, data):
+        train, validation = data
+        report = make_pipeline().run(train, validation)
+        summary = report.format_summary()
+        assert "provisioning" in summary
+        assert "total" in summary
+
+
+class TestCanaryRollback:
+    def test_rollback_on_degraded_model(self, data):
+        train, validation = data
+        pipeline = make_pipeline(canary_tolerance=0.0)
+        first = pipeline.run(train, validation)
+        assert not first.rolled_back
+
+        # A constant classifier that will certainly be worse.
+        class Constant:
+            def fit(self, dataset):
+                return self
+
+            def predict_batch(self, dataset):
+                return np.zeros(dataset.n_rows, dtype=np.uint8)
+
+        bad_pipeline = RetrainingPipeline(
+            model_factory=Constant,
+            registry=pipeline.registry,
+            costs=PipelineCosts(simulate_delays=False),
+            canary_tolerance=0.01,
+        )
+        second = bad_pipeline.run(train, validation)
+        assert second.rolled_back
+        # Registry keeps serving the previous good version.
+        assert pipeline.registry.n_versions == 1
+        assert "rolled back" in second.format_summary()
+
+    def test_stage_seconds_unknown_stage(self):
+        report = DeploymentReport(version=1, timings=[StageTiming("x", 1.0, True)])
+        with pytest.raises(KeyError):
+            report.stage_seconds("y")

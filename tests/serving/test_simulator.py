@@ -1,0 +1,78 @@
+"""Tests for the model-serving simulator."""
+
+import pytest
+
+from repro.serving.simulator import RequestMix, ServingSimulator, ThroughputReport
+
+
+class TestRequestMix:
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError):
+            RequestMix(n_requests=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            RequestMix(n_requests=10, unlearn_fraction=1.0)
+        with pytest.raises(ValueError):
+            RequestMix(n_requests=10, unlearn_fraction=-0.1)
+
+
+class TestThroughputReport:
+    def test_rates(self):
+        report = ThroughputReport(n_predictions=90, n_unlearnings=10, total_seconds=2.0)
+        assert report.requests_per_second == pytest.approx(50.0)
+        assert report.predictions_per_second == pytest.approx(45.0)
+
+    def test_zero_time_guard(self):
+        report = ThroughputReport(n_predictions=0, n_unlearnings=0, total_seconds=0.0)
+        assert report.requests_per_second == 0.0
+
+    def test_percentile_requires_samples(self):
+        report = ThroughputReport(1, 0, 1.0)
+        with pytest.raises(ValueError):
+            report.latency_percentile(99)
+
+
+class TestSimulation:
+    def test_pure_prediction_workload(self, fitted_model, income_split):
+        _, test = income_split
+        simulator = ServingSimulator(fitted_model, test, seed=0)
+        report = simulator.run(RequestMix(n_requests=200))
+        assert report.n_predictions == 200
+        assert report.n_unlearnings == 0
+        assert report.requests_per_second > 0
+
+    def test_mixed_workload_consumes_unlearn_pool(self, fitted_model, income_split):
+        train, test = income_split
+        budget = fitted_model.deletion_budget
+        pool = [train.record(row) for row in range(budget)]
+        simulator = ServingSimulator(fitted_model, test, unlearn_pool=pool, seed=0)
+        report = simulator.run(RequestMix(n_requests=400, unlearn_fraction=0.01))
+        expected = min(4, budget)
+        assert report.n_unlearnings == expected
+        assert fitted_model.n_unlearned == expected
+
+    def test_unlearnings_capped_by_budget(self, fitted_model, income_split):
+        train, test = income_split
+        budget = fitted_model.deletion_budget
+        pool = [train.record(row) for row in range(budget + 5)]
+        simulator = ServingSimulator(fitted_model, test, unlearn_pool=pool, seed=1)
+        report = simulator.run(RequestMix(n_requests=2000, unlearn_fraction=0.5))
+        assert report.n_unlearnings <= budget
+
+    def test_latency_recording(self, fitted_model, income_split):
+        _, test = income_split
+        simulator = ServingSimulator(fitted_model, test, seed=2, record_latencies=True)
+        report = simulator.run(RequestMix(n_requests=50))
+        assert len(report.prediction_latencies_us) == 50
+        p50 = report.latency_percentile(50)
+        p99 = report.latency_percentile(99)
+        assert 0 < p50 <= p99
+
+    def test_empty_prediction_pool_rejected(self, fitted_model, income_split):
+        import numpy as np
+
+        _, test = income_split
+        empty = test.take(np.asarray([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            ServingSimulator(fitted_model, empty)

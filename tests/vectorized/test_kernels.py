@@ -1,0 +1,114 @@
+"""Equivalence and unit tests for the four scan-kernel tiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vectorized.kernels import (
+    CATEGORICAL_KERNELS,
+    NUMERIC_KERNELS,
+    SplitCounts,
+    numeric_counts_vectorised,
+)
+
+
+@st.composite
+def numeric_scan_case(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    codes = np.asarray(
+        draw(st.lists(st.integers(0, 19), min_size=n, max_size=n)), dtype=np.uint8
+    )
+    labels = np.asarray(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.uint8
+    )
+    cut = draw(st.integers(0, 20))
+    return codes, labels, cut
+
+
+@st.composite
+def categorical_scan_case(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    cardinality = draw(st.integers(min_value=1, max_value=16))
+    codes = np.asarray(
+        draw(st.lists(st.integers(0, cardinality - 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    labels = np.asarray(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.uint8
+    )
+    mask = draw(st.integers(1, (1 << cardinality) - 1))
+    return codes, labels, mask
+
+
+class TestSplitCounts:
+    def test_derived_counts(self):
+        counts = SplitCounts(n=10, n_plus=6, n_left=4, n_left_plus=3)
+        assert counts.n_right == 6
+        assert counts.n_right_plus == 3
+
+    def test_splits_data(self):
+        assert SplitCounts(10, 5, 4, 2).splits_data
+        assert not SplitCounts(10, 5, 0, 0).splits_data
+        assert not SplitCounts(10, 5, 10, 5).splits_data
+
+
+class TestNumericKernels:
+    def test_known_example(self):
+        codes = np.asarray([0, 3, 7, 2, 9], dtype=np.uint8)
+        labels = np.asarray([1, 0, 1, 1, 0], dtype=np.uint8)
+        expected = SplitCounts(n=5, n_plus=3, n_left=3, n_left_plus=2)
+        for name, kernel in NUMERIC_KERNELS.items():
+            assert kernel(codes, labels, 4) == expected, name
+
+    def test_empty_input(self):
+        codes = np.asarray([], dtype=np.uint8)
+        labels = np.asarray([], dtype=np.uint8)
+        for kernel in NUMERIC_KERNELS.values():
+            assert kernel(codes, labels, 3) == SplitCounts(0, 0, 0, 0)
+
+    @given(numeric_scan_case())
+    @settings(max_examples=100, deadline=None)
+    def test_all_tiers_agree(self, case):
+        codes, labels, cut = case
+        reference = numeric_counts_vectorised(codes, labels, cut)
+        for name, kernel in NUMERIC_KERNELS.items():
+            assert kernel(codes, labels, cut) == reference, name
+
+    def test_boundary_cuts(self):
+        codes = np.asarray([0, 19], dtype=np.uint8)
+        labels = np.asarray([1, 1], dtype=np.uint8)
+        everything_right = numeric_counts_vectorised(codes, labels, 0)
+        assert everything_right.n_left == 0
+        everything_left = numeric_counts_vectorised(codes, labels, 20)
+        assert everything_left.n_left == 2
+
+
+class TestCategoricalKernels:
+    def test_known_example(self):
+        codes = np.asarray([0, 1, 2, 1, 3], dtype=np.int64)
+        labels = np.asarray([1, 1, 0, 0, 1], dtype=np.uint8)
+        mask = 0b0110  # codes 1 and 2 go left
+        expected = SplitCounts(n=5, n_plus=3, n_left=3, n_left_plus=1)
+        for name, kernel in CATEGORICAL_KERNELS.items():
+            assert kernel(codes, labels, mask) == expected, name
+
+    @given(categorical_scan_case())
+    @settings(max_examples=100, deadline=None)
+    def test_all_tiers_agree(self, case):
+        codes, labels, mask = case
+        reference = CATEGORICAL_KERNELS["branching"](codes, labels, mask)
+        for name, kernel in CATEGORICAL_KERNELS.items():
+            assert kernel(codes, labels, mask) == reference, name
+
+    def test_full_mask_sends_everything_left(self):
+        codes = np.asarray([0, 1, 2], dtype=np.int64)
+        labels = np.asarray([0, 1, 0], dtype=np.uint8)
+        counts = CATEGORICAL_KERNELS["vectorised"](codes, labels, 0b111)
+        assert counts.n_left == 3
+
+
+class TestKernelRegistries:
+    def test_registry_names(self):
+        expected = {"branching", "predicated", "vectorised", "mlpack"}
+        assert set(NUMERIC_KERNELS) == expected
+        assert set(CATEGORICAL_KERNELS) == expected

@@ -1,0 +1,47 @@
+"""Tests for the bitmask subset helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vectorized.masks import (
+    bitmask_contains,
+    bitmask_membership_vector,
+    bitmask_to_subset,
+    subset_to_bitmask,
+)
+
+
+class TestBitmaskPacking:
+    def test_pack_and_test(self):
+        mask = subset_to_bitmask([0, 3, 5])
+        assert mask == 0b101001
+        assert bitmask_contains(mask, 0)
+        assert not bitmask_contains(mask, 1)
+        assert bitmask_contains(mask, 5)
+
+    def test_rejects_code_out_of_range(self):
+        with pytest.raises(ValueError):
+            subset_to_bitmask([32])
+        with pytest.raises(ValueError):
+            subset_to_bitmask([-1])
+
+    def test_empty_subset_is_zero(self):
+        assert subset_to_bitmask([]) == 0
+
+    @given(st.sets(st.integers(0, 31), max_size=32))
+    def test_roundtrip(self, codes):
+        assert bitmask_to_subset(subset_to_bitmask(codes)) == frozenset(codes)
+
+
+class TestMembershipVector:
+    def test_table_matches_scalar_test(self):
+        mask = subset_to_bitmask([1, 4, 7])
+        table = bitmask_membership_vector(mask, 10)
+        assert table.tolist() == [
+            bitmask_contains(mask, code) for code in range(10)
+        ]
+
+    def test_table_length(self):
+        table = bitmask_membership_vector(0b1, 5)
+        assert table.shape == (5,)
+        assert table.dtype == bool

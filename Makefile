@@ -1,0 +1,23 @@
+# Developer entry points. The test suite expects the src layout on the
+# import path; PYTHONPATH=src avoids requiring an editable install.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test bench-smoke lint
+
+## Run the full unit/property/integration suite.
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+## One fast pass over every paper benchmark; formatted tables land in
+## benchmarks/results.txt.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-disable-gc -q
+
+## Static sanity: byte-compile everything (no third-party linter is
+## vendored in the image).
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks

@@ -328,6 +328,52 @@ class HedgeCutClassifier:
         self._require_fitted()
         return EnsembleCensus(per_tree=tuple(census(tree.root) for tree in self._trees))
 
+    @property
+    def n_trained_on(self) -> int:
+        """Number of training rows the model was fitted on."""
+        self._require_fitted()
+        return self._n_trained_on
+
+    def invalidate_compiled(self) -> None:
+        """Drop every compiled tree; they are rebuilt lazily on prediction."""
+        self._compiled = [None] * len(self._trees)
+
+    @classmethod
+    def from_state(
+        cls,
+        params: HedgeCutParams,
+        trees: Sequence[HedgeCutTree],
+        schema: Sequence[FeatureSchema],
+        deletion_budget: int,
+        n_unlearned: int,
+        n_trained_on: int,
+    ) -> "HedgeCutClassifier":
+        """Reconstitute a fitted model from externally restored state.
+
+        This is the hook the :mod:`repro.persistence` subsystem uses to turn
+        a decoded snapshot back into a serving-ready classifier without
+        retraining. The caller owns the invariants (trees consistent with the
+        schema, counters consistent with the trees).
+        """
+        model = cls(
+            n_trees=params.n_trees,
+            epsilon=params.epsilon,
+            max_tries_per_split=params.max_tries_per_split,
+            min_leaf_size=params.min_leaf_size,
+            n_candidates=params.n_candidates,
+            robustness_mode=params.robustness_mode,
+            max_maintenance_depth=params.max_maintenance_depth,
+            n_jobs=params.n_jobs,
+            seed=params.seed,
+        )
+        model._trees = list(trees)
+        model._compiled = [None] * len(model._trees)
+        model._schema = tuple(schema)
+        model._deletion_budget = deletion_budget
+        model._n_unlearned = n_unlearned
+        model._n_trained_on = n_trained_on
+        return model
+
     def save(self, path: str | Path) -> None:
         """Serialise the fitted model (including pending unlearning state)."""
         self._require_fitted()
@@ -347,25 +393,14 @@ class HedgeCutClassifier:
         """Restore a model saved with :meth:`save`."""
         with open(path, "rb") as source:
             state = pickle.load(source)
-        params: HedgeCutParams = state["params"]
-        model = cls(
-            n_trees=params.n_trees,
-            epsilon=params.epsilon,
-            max_tries_per_split=params.max_tries_per_split,
-            min_leaf_size=params.min_leaf_size,
-            n_candidates=params.n_candidates,
-            robustness_mode=params.robustness_mode,
-            max_maintenance_depth=params.max_maintenance_depth,
-            n_jobs=params.n_jobs,
-            seed=params.seed,
+        return cls.from_state(
+            params=state["params"],
+            trees=state["trees"],
+            schema=state["schema"],
+            deletion_budget=state["deletion_budget"],
+            n_unlearned=state["n_unlearned"],
+            n_trained_on=state["n_trained_on"],
         )
-        model._trees = state["trees"]
-        model._compiled = [None] * len(model._trees)
-        model._schema = state["schema"]
-        model._deletion_budget = state["deletion_budget"]
-        model._n_unlearned = state["n_unlearned"]
-        model._n_trained_on = state["n_trained_on"]
-        return model
 
 
 def _learn_one_in_tree(root, record: Record) -> bool:

@@ -6,6 +6,12 @@ Examples::
     hedgecut-experiments figure3 --scale 0.05 --trees 20 --repeats 3
     hedgecut-experiments all --scale 0.02
     hedgecut-experiments figure5b --datasets income heart
+
+Besides the table/figure drivers, two operational commands manage a
+durable model store (:mod:`repro.persistence`)::
+
+    hedgecut-experiments snapshot --store ./hedgecut-store --datasets income
+    hedgecut-experiments recover --store ./hedgecut-store
 """
 
 from __future__ import annotations
@@ -111,6 +117,66 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig], str]] = {
 }
 
 
+def _run_snapshot(config: ExperimentConfig, store_path: str) -> str:
+    """Train a model on the first configured dataset and snapshot it."""
+    from repro.core.ensemble import HedgeCutClassifier
+    from repro.datasets.registry import load_dataset
+    from repro.persistence.store import ModelStore
+
+    name = config.datasets[0]
+    dataset = load_dataset(name, n_rows=config.rows_for(name), seed=config.seed)
+    model = HedgeCutClassifier(
+        n_trees=config.n_trees,
+        epsilon=config.epsilon,
+        max_tries_per_split=config.max_tries_per_split,
+        seed=config.seed,
+    ).fit(dataset)
+    with ModelStore(store_path) as store:
+        info = store.save_snapshot(model, wal_seq=store.wal.last_seq)
+    census = model.node_census()
+    return "\n".join(
+        [
+            f"snapshot written: {info.path}",
+            f"  dataset          {name} ({dataset.n_rows} rows)",
+            f"  trees            {info.n_trees}",
+            f"  nodes            {info.n_nodes} ({census.n_maintenance_nodes} maintenance)",
+            f"  variants         {info.n_variants}",
+            f"  wal seq          {info.wal_seq}",
+            f"  size             {info.size_bytes} bytes",
+            f"  checksum         sha256:{info.checksum[:16]}…",
+        ]
+    )
+
+
+def _run_recover(store_path: str) -> str:
+    """Recover the latest state from a model store and summarise it."""
+    from repro.persistence.store import ModelStore
+
+    with ModelStore(store_path) as store:
+        recovered = store.recover()
+    model = recovered.model
+    census = model.node_census()
+    snapshot = recovered.snapshot
+    lines = [
+        f"recovered from: {snapshot.path if snapshot else '<none>'}",
+        f"  trees            {len(model.trees)}",
+        f"  nodes            {census.n_nodes} ({census.n_maintenance_nodes} maintenance)",
+        f"  trained on       {model.n_trained_on} rows",
+        f"  unlearned        {model.n_unlearned} of budget {model.deletion_budget}",
+        f"  wal seq          {recovered.wal_seq} "
+        f"({recovered.n_replayed} replayed, {recovered.n_replay_failures} replay failures)",
+    ]
+    if recovered.skipped_snapshots:
+        lines.append(
+            f"  skipped corrupt  {', '.join(str(p) for p in recovered.skipped_snapshots)}"
+        )
+    return "\n".join(lines)
+
+
+#: Operational (non-experiment) commands accepted by the CLI.
+COMMANDS = ("snapshot", "recover")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hedgecut-experiments",
@@ -118,8 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate ('all' runs every one)",
+        choices=[*EXPERIMENTS, "all", *COMMANDS],
+        help="which table/figure to regenerate ('all' runs every one), or an "
+        "operational command: 'snapshot' trains a model and persists it to "
+        "--store, 'recover' rebuilds the latest state from --store",
     )
     parser.add_argument(
         "--scale",
@@ -137,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="subset of datasets (default: all five)",
     )
+    parser.add_argument(
+        "--store",
+        default="hedgecut-store",
+        help="model-store directory for the snapshot/recover commands",
+    )
     return parser
 
 
@@ -149,6 +222,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         datasets=tuple(args.datasets) if args.datasets else available_datasets(),
     )
+    if args.experiment in COMMANDS:
+        print(f"== {args.experiment} ==", flush=True)
+        if args.experiment == "snapshot":
+            print(_run_snapshot(config, args.store))
+        else:
+            print(_run_recover(args.store))
+        return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"== {name} ==", flush=True)

@@ -1,0 +1,48 @@
+"""Durable persistence for deployed HedgeCut models.
+
+The paper puts unlearning *in the serving path*; this package makes that
+serving path crash-safe. It provides three layers:
+
+* :mod:`repro.persistence.snapshot` -- versioned, checksummed snapshot
+  serialisation of fitted ensembles (maintenance-node variants and live
+  leaf statistics included) to a compact ``.npz`` format.
+* :mod:`repro.persistence.wal` -- a write-ahead deletion log: every
+  unlearning request is appended (CRC-framed, optionally fsynced) *before*
+  it touches the in-memory model, with segment rotation and compaction.
+* :mod:`repro.persistence.store` -- a :class:`ModelStore` directory layout
+  tying the two together, and crash recovery that loads the latest valid
+  snapshot and replays the WAL tail to the exact pre-crash state.
+"""
+
+from repro.persistence.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotFormatError,
+    SnapshotInfo,
+    SnapshotIntegrityError,
+    load_snapshot,
+    read_snapshot_info,
+    save_snapshot,
+)
+from repro.persistence.store import ModelStore, RecoveredModel
+from repro.persistence.wal import (
+    DeletionRecord,
+    WalCorruptionError,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotFormatError",
+    "SnapshotInfo",
+    "SnapshotIntegrityError",
+    "save_snapshot",
+    "load_snapshot",
+    "read_snapshot_info",
+    "DeletionRecord",
+    "WalCorruptionError",
+    "WriteAheadLog",
+    "ModelStore",
+    "RecoveredModel",
+]

@@ -1,15 +1,25 @@
-"""Model-serving simulator (the deployment context of Figure 1).
+"""Model-serving layer (the deployment context of Figure 1).
 
 The paper's motivation is that unlearning must happen *inside* the serving
 system, at latencies comparable to prediction requests, instead of through
-heavyweight retraining pipelines. This package simulates that serving
-system: a single-node request loop that answers online prediction requests
-and, optionally, interleaves online GDPR deletion (unlearning) requests,
-measuring throughput and latency percentiles. It drives the Table 2
-experiment (prediction throughput with and without mixed-in unlearning).
+heavyweight retraining pipelines. This package provides that serving
+system in three tiers:
+
+* :class:`ServingSimulator` -- a single-node request loop mixing online
+  prediction and GDPR deletion requests, measuring throughput and latency
+  percentiles (drives the Table 2 experiment).
+* :class:`ReplicatedServingEngine` -- the durable, multi-replica engine:
+  predictions fan out round-robin over replica workers while deletions are
+  sequenced through a write-ahead log (:mod:`repro.persistence`) before
+  being applied, with per-replica staleness tracking, configurable read
+  consistency and crash recovery from snapshot + log replay.
+* :class:`RetrainingPipeline` -- the heavyweight retrain-and-redeploy
+  contrast of Section 1, with staged deployment, canary evaluation and
+  rollback over a :class:`ModelRegistry`.
 """
 
 from repro.serving.audit import AuditedUnlearner, AuditEntry
+from repro.serving.engine import CONSISTENCY_MODES, ReplicatedServingEngine
 from repro.serving.pipeline import (
     DeploymentReport,
     ModelRegistry,
@@ -25,6 +35,8 @@ from repro.serving.simulator import (
 __all__ = [
     "AuditedUnlearner",
     "AuditEntry",
+    "CONSISTENCY_MODES",
+    "ReplicatedServingEngine",
     "RequestMix",
     "ServingSimulator",
     "ThroughputReport",

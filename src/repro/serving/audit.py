@@ -14,16 +14,24 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.ensemble import HedgeCutClassifier
 from repro.core.exceptions import HedgeCutError
 from repro.dataprep.dataset import Record
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persistence.wal import WriteAheadLog
+
 
 @dataclass(frozen=True)
 class AuditEntry:
-    """One processed deletion request."""
+    """One processed deletion request.
+
+    ``log_offset`` is the sequence number the request got in the durable
+    write-ahead deletion log (:mod:`repro.persistence.wal`), when one is
+    attached; it ties the audit trail to evidence that survives crashes.
+    """
 
     request_id: str
     timestamp: float
@@ -32,6 +40,7 @@ class AuditEntry:
     leaves_updated: int = 0
     variant_switches: int = 0
     error: str | None = None
+    log_offset: int | None = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -49,17 +58,32 @@ class AuditedUnlearner:
     recorded with their reason and re-raised flagged by ``strict`` (default
     off, because a serving loop usually answers the caller instead of
     crashing).
+
+    When a write-ahead log is attached (``wal``), every request is appended
+    to it *before* the model is touched -- the durability protocol of
+    :mod:`repro.persistence` -- and the resulting audit entry carries the
+    durable ``log_offset``. Failed requests stay in the log; replay fails
+    them the same deterministic way, so recovery reproduces the audit
+    outcome exactly.
     """
 
     model: HedgeCutClassifier
     strict: bool = False
     entries: list[AuditEntry] = field(default_factory=list)
+    wal: "WriteAheadLog | None" = None
 
     def unlearn(
         self, request_id: str, record: Record, allow_budget_overrun: bool = False
     ) -> AuditEntry:
         """Apply one deletion request and record the outcome."""
         start = time.perf_counter()
+        log_offset = None
+        if self.wal is not None and isinstance(record, Record):
+            log_offset = self.wal.append(
+                record,
+                request_id=request_id,
+                allow_budget_overrun=allow_budget_overrun,
+            ).seq
         try:
             report = self.model.unlearn(
                 record, allow_budget_overrun=allow_budget_overrun
@@ -71,6 +95,7 @@ class AuditedUnlearner:
                 succeeded=False,
                 latency_us=(time.perf_counter() - start) * 1e6,
                 error=str(error),
+                log_offset=log_offset,
             )
             self.entries.append(entry)
             if self.strict:
@@ -83,6 +108,7 @@ class AuditedUnlearner:
             latency_us=(time.perf_counter() - start) * 1e6,
             leaves_updated=report.leaves_updated,
             variant_switches=report.variant_switches,
+            log_offset=log_offset,
         )
         self.entries.append(entry)
         return entry

@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
 from repro.dataprep.dataset import Dataset
 from repro.evaluation.metrics import accuracy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persistence.store import ModelStore
 
 
 class TrainableModel(Protocol):
@@ -148,6 +151,12 @@ class RetrainingPipeline:
         costs: operational step costs.
         canary_tolerance: maximum accuracy drop versus the currently
             deployed version before the canary step triggers a rollback.
+        store: optional durable :class:`~repro.persistence.store.ModelStore`.
+            When set, every successfully deployed version is persisted as a
+            snapshot and the write-ahead deletion log is compacted up to its
+            current tail -- a full retrain subsumes every deletion logged
+            before it, so the log records become redundant exactly at the
+            traffic switch.
     """
 
     def __init__(
@@ -156,11 +165,13 @@ class RetrainingPipeline:
         registry: ModelRegistry | None = None,
         costs: PipelineCosts | None = None,
         canary_tolerance: float = 0.05,
+        store: "ModelStore | None" = None,
     ) -> None:
         self.model_factory = model_factory
         self.registry = registry if registry is not None else ModelRegistry()
         self.costs = costs if costs is not None else PipelineCosts()
         self.canary_tolerance = canary_tolerance
+        self.store = store
 
     # ------------------------------------------------------------------ #
     # the five steps
@@ -201,7 +212,22 @@ class RetrainingPipeline:
                 return report
         self._account(report, "traffic switch", self.costs.traffic_switch_s)
         self.registry.push(model, new_accuracy)
+        self._persist_deployment(report, model)
         return report
+
+    def _persist_deployment(self, report: DeploymentReport, model: TrainableModel) -> None:
+        """Snapshot the freshly deployed version into the durable store."""
+        if self.store is None:
+            return
+        from repro.core.ensemble import HedgeCutClassifier
+
+        if not isinstance(model, HedgeCutClassifier):
+            return
+        start = time.perf_counter()
+        self.store.save_snapshot(model, wal_seq=self.store.wal.last_seq)
+        report.timings.append(
+            StageTiming("snapshot", time.perf_counter() - start, simulated=False)
+        )
 
     def serve_deletion_request(
         self, train: Dataset, validation: Dataset, removed_rows: list[int]

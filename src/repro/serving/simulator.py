@@ -103,10 +103,21 @@ class ServingSimulator:
         Unlearning requests are scheduled by replacing randomly selected
         prediction slots, capped by the available unlearn pool and the
         model's remaining deletion budget.
+
+        Rounding rule: the unlearning request count is
+        ``round(n_requests * unlearn_fraction)`` (banker's rounding), but
+        whenever ``unlearn_fraction > 0`` at least one unlearning request is
+        issued -- small workloads must not silently degenerate into
+        prediction-only runs (e.g. ``n_requests=2, unlearn_fraction=0.2``
+        would otherwise round to zero). The pool/budget caps still apply
+        after this floor.
         """
         rng = np.random.default_rng(self.seed)
+        n_scheduled = int(round(mix.n_requests * mix.unlearn_fraction))
+        if mix.unlearn_fraction > 0.0:
+            n_scheduled = max(1, n_scheduled)
         n_unlearn = min(
-            int(round(mix.n_requests * mix.unlearn_fraction)),
+            n_scheduled,
             len(self.unlearn_pool),
             self.model.remaining_deletion_budget,
         )

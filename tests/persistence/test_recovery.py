@@ -1,0 +1,154 @@
+"""Crash-recovery tests: kill-after-K-deletions, restore, compare.
+
+The acceptance property: a process that snapshots its model, applies K
+durably logged deletions and then crashes must recover -- latest snapshot
+plus WAL-tail replay -- to a state whose predictions are identical to an
+uninterrupted model that applied the same deletion sequence. The model
+under test contains maintenance nodes, so recovery also exercises variant
+statistics and active-variant switches.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.exceptions import HedgeCutError
+from repro.persistence.store import ModelStore
+
+from tests.conftest import make_random_dataset
+
+
+@pytest.fixture(scope="module")
+def noisy_setup():
+    dataset = make_random_dataset(n_rows=300, seed=11)
+    model = HedgeCutClassifier(n_trees=4, epsilon=0.05, seed=5).fit(dataset)
+    assert model.node_census().n_maintenance_nodes > 0
+    return model, dataset
+
+
+def _crash_after_k_deletions(store_dir, model, dataset, k, snapshot_at=0):
+    """Run the durability protocol for ``k`` deletions, then 'crash'.
+
+    Returns nothing: the only survivors are the files in ``store_dir``,
+    exactly as after a real process kill (the in-memory model is dropped).
+    """
+    work = copy.deepcopy(model)
+    with ModelStore(store_dir) as store:
+        store.save_snapshot(work, wal_seq=0)
+        for row in range(k):
+            record = dataset.record(row)
+            store.wal.append(record, request_id=f"req-{row}", allow_budget_overrun=True)
+            work.unlearn(record, allow_budget_overrun=True)
+            if snapshot_at and row + 1 == snapshot_at:
+                store.save_snapshot(work, wal_seq=store.wal.last_seq)
+        # Crash: no final snapshot, no clean shutdown beyond closing the
+        # file handle (appends are flushed per record).
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("k", [1, 7, 15])
+    def test_recovered_equals_uninterrupted(self, tmp_path, noisy_setup, k):
+        model, dataset = noisy_setup
+        _crash_after_k_deletions(tmp_path / "store", model, dataset, k)
+
+        uninterrupted = copy.deepcopy(model)
+        for row in range(k):
+            uninterrupted.unlearn(dataset.record(row), allow_budget_overrun=True)
+
+        recovered = ModelStore(tmp_path / "store").recover()
+        assert recovered.n_replayed == k
+        assert recovered.wal_seq == k
+        assert recovered.model.n_unlearned == uninterrupted.n_unlearned
+        assert np.array_equal(
+            recovered.model.predict_batch(dataset),
+            uninterrupted.predict_batch(dataset),
+        )
+
+    def test_mid_campaign_snapshot_replays_only_the_tail(self, tmp_path, noisy_setup):
+        model, dataset = noisy_setup
+        _crash_after_k_deletions(tmp_path / "store", model, dataset, k=12, snapshot_at=5)
+
+        uninterrupted = copy.deepcopy(model)
+        for row in range(12):
+            uninterrupted.unlearn(dataset.record(row), allow_budget_overrun=True)
+
+        recovered = ModelStore(tmp_path / "store").recover()
+        # The snapshot at seq 5 absorbs the first five deletions.
+        assert recovered.snapshot is not None
+        assert recovered.snapshot.wal_seq == 5
+        assert recovered.n_replayed == 7
+        assert np.array_equal(
+            recovered.model.predict_batch(dataset),
+            uninterrupted.predict_batch(dataset),
+        )
+
+    def test_recovery_continues_unlearning_identically(self, tmp_path, noisy_setup):
+        """Recover mid-campaign, then finish the campaign on both sides."""
+        model, dataset = noisy_setup
+        _crash_after_k_deletions(tmp_path / "store", model, dataset, k=6)
+
+        uninterrupted = copy.deepcopy(model)
+        for row in range(6):
+            uninterrupted.unlearn(dataset.record(row), allow_budget_overrun=True)
+
+        recovered = ModelStore(tmp_path / "store").recover().model
+        for row in range(6, 15):
+            uninterrupted.unlearn(dataset.record(row), allow_budget_overrun=True)
+            recovered.unlearn(dataset.record(row), allow_budget_overrun=True)
+        assert np.array_equal(
+            recovered.predict_batch(dataset), uninterrupted.predict_batch(dataset)
+        )
+
+    def test_corrupt_latest_snapshot_falls_back(self, tmp_path, noisy_setup):
+        model, dataset = noisy_setup
+        store_dir = tmp_path / "store"
+        _crash_after_k_deletions(store_dir, model, dataset, k=8, snapshot_at=4)
+
+        snapshots = ModelStore(store_dir).snapshot_paths()
+        assert len(snapshots) == 2
+        latest = snapshots[-1]
+        latest.write_bytes(latest.read_bytes()[:-40] + b"\x00" * 40)
+
+        uninterrupted = copy.deepcopy(model)
+        for row in range(8):
+            uninterrupted.unlearn(dataset.record(row), allow_budget_overrun=True)
+
+        recovered = ModelStore(store_dir).recover()
+        assert recovered.skipped_snapshots == [latest]
+        assert np.array_equal(
+            recovered.model.predict_batch(dataset),
+            uninterrupted.predict_batch(dataset),
+        )
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(HedgeCutError):
+            ModelStore(tmp_path / "empty").recover()
+
+
+class TestSnapshotHousekeeping:
+    def test_snapshots_are_pruned(self, tmp_path, noisy_setup):
+        model, dataset = noisy_setup
+        work = copy.deepcopy(model)
+        with ModelStore(tmp_path / "store", keep_snapshots=2) as store:
+            store.save_snapshot(work, wal_seq=0)
+            for row in range(6):
+                record = dataset.record(row)
+                store.wal.append(record, allow_budget_overrun=True)
+                work.unlearn(record, allow_budget_overrun=True)
+                store.save_snapshot(work)
+            assert len(store.snapshot_paths()) == 2
+
+    def test_snapshot_compacts_wal(self, tmp_path, noisy_setup):
+        model, dataset = noisy_setup
+        work = copy.deepcopy(model)
+        with ModelStore(tmp_path / "store") as store:
+            for row in range(5):
+                record = dataset.record(row)
+                store.wal.append(record, allow_budget_overrun=True)
+                work.unlearn(record, allow_budget_overrun=True)
+            store.save_snapshot(work)
+            # Everything up to the snapshot is compacted away.
+            assert list(store.wal.records(after_seq=0)) == []
+            assert store.wal.last_seq == 5  # sequence numbering continues

@@ -1,0 +1,47 @@
+"""Property-style test: snapshot -> restore is the identity on predictions.
+
+For every registry dataset (small subsamples), a trained model must
+predict bit-for-bit identically after a snapshot/restore round-trip --
+probabilities included. A separate case forces maintenance nodes (loose
+node budget on noisy data) so the property also covers subtree variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.persistence.snapshot import load_snapshot, save_snapshot
+
+from tests.conftest import make_random_dataset
+
+
+@pytest.mark.parametrize("name", available_datasets())
+def test_roundtrip_identity_on_registry_datasets(tmp_path, name):
+    dataset = load_dataset(name, n_rows=250, seed=9)
+    model = HedgeCutClassifier(n_trees=3, epsilon=0.01, seed=13).fit(dataset)
+    save_snapshot(model, tmp_path / f"{name}.npz")
+    restored, _ = load_snapshot(tmp_path / f"{name}.npz")
+
+    assert np.array_equal(
+        restored.predict_batch(dataset), model.predict_batch(dataset)
+    ), f"label mismatch after restore on {name}"
+    for row in range(0, dataset.n_rows, 25):
+        record = dataset.record(row)
+        assert restored.predict_proba(record) == model.predict_proba(record), (
+            f"probability mismatch after restore on {name} row {row}"
+        )
+
+
+def test_roundtrip_identity_with_maintenance_nodes(tmp_path):
+    dataset = make_random_dataset(n_rows=300, seed=23)
+    model = HedgeCutClassifier(n_trees=4, epsilon=0.05, seed=29).fit(dataset)
+    assert model.node_census().n_maintenance_nodes > 0, (
+        "test setup must produce at least one maintenance node"
+    )
+    save_snapshot(model, tmp_path / "maint.npz")
+    restored, _ = load_snapshot(tmp_path / "maint.npz")
+    assert np.array_equal(restored.predict_batch(dataset), model.predict_batch(dataset))
+    for row in range(0, dataset.n_rows, 20):
+        record = dataset.record(row)
+        assert restored.predict_proba(record) == model.predict_proba(record)

@@ -1,0 +1,135 @@
+"""Tests for the CRC-framed write-ahead deletion log."""
+
+import pytest
+
+from repro.dataprep.dataset import Record
+from repro.persistence.wal import DeletionRecord, WalCorruptionError, WriteAheadLog
+
+
+def _record(seed: int) -> Record:
+    return Record(values=(seed % 5, seed % 3, seed % 7), label=seed % 2)
+
+
+class TestFraming:
+    def test_append_read_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            appended = [
+                wal.append(_record(i), request_id=f"req-{i}") for i in range(10)
+            ]
+            assert [entry.seq for entry in appended] == list(range(1, 11))
+            read_back = list(wal.records())
+        assert read_back == appended
+        assert read_back[3].to_record() == _record(3)
+
+    def test_after_seq_filter(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for i in range(6):
+                wal.append(_record(i))
+            tail = list(wal.records(after_seq=4))
+        assert [entry.seq for entry in tail] == [5, 6]
+
+    def test_sequence_survives_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append(_record(1))
+        with WriteAheadLog(tmp_path) as wal:
+            entry = wal.append(_record(2))
+            assert entry.seq == 3
+            assert [e.seq for e in wal.records()] == [1, 2, 3]
+
+    def test_budget_overrun_flag_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0), allow_budget_overrun=True)
+            (entry,) = list(wal.records())
+        assert entry.allow_budget_overrun is True
+
+    def test_payload_roundtrip_is_exact(self):
+        entry = DeletionRecord(
+            seq=7, values=(1, 2, 3), label=1, request_id="r", allow_budget_overrun=True
+        )
+        assert DeletionRecord.from_payload(entry.to_payload()) == entry
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append(_record(1))
+            (segment,) = wal.segment_paths()
+        # Simulate a crash mid-append: half a frame at the tail.
+        with open(segment, "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00\xde\xad")
+        with WriteAheadLog(tmp_path) as wal:
+            assert [e.seq for e in wal.records()] == [1, 2]
+            # The torn bytes were reclaimed; appends continue cleanly.
+            wal.append(_record(2))
+            assert [e.seq for e in wal.records()] == [1, 2, 3]
+
+    def test_corrupt_tail_frame_is_dropped(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append(_record(1))
+            (segment,) = wal.segment_paths()
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the final record
+        segment.write_bytes(bytes(data))
+        with WriteAheadLog(tmp_path) as wal:
+            assert [e.seq for e in wal.records()] == [1]
+
+    def test_corrupt_sealed_segment_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.rotate()
+            wal.append(_record(1))
+            first = wal.segment_paths()[0]
+        data = bytearray(first.read_bytes())
+        data[_middle(data)] ^= 0xFF
+        first.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(tmp_path)
+
+
+def _middle(data: bytearray) -> int:
+    return len(data) // 2
+
+
+class TestRotationAndCompaction:
+    def test_rotate_starts_new_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.rotate()
+            wal.append(_record(1))
+            assert len(wal.segment_paths()) == 2
+            assert [e.seq for e in wal.records()] == [1, 2]
+
+    def test_automatic_rotation_by_size(self, tmp_path):
+        with WriteAheadLog(tmp_path, max_segment_bytes=64) as wal:
+            for i in range(5):
+                wal.append(_record(i))
+            assert len(wal.segment_paths()) > 1
+            assert [e.seq for e in wal.records()] == [1, 2, 3, 4, 5]
+
+    def test_compact_removes_covered_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append(_record(1))
+            wal.rotate()
+            wal.append(_record(2))
+            deleted = wal.compact(upto_seq=2)
+            assert len(deleted) == 1
+            assert [e.seq for e in wal.records()] == [3]
+
+    def test_compact_keeps_uncovered_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append(_record(1))
+            wal.rotate()
+            wal.append(_record(2))
+            assert wal.compact(upto_seq=1) == []
+            assert [e.seq for e in wal.records()] == [1, 2, 3]
+
+    def test_active_segment_never_deleted(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            assert wal.compact(upto_seq=10) == []
+            assert [e.seq for e in wal.records()] == [1]

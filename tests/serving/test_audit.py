@@ -19,6 +19,25 @@ class TestAuditEntry:
         )
         assert AuditEntry.from_json(entry.to_json()) == entry
 
+    def test_json_roundtrip_with_log_offset(self):
+        entry = AuditEntry(
+            request_id="req-1",
+            timestamp=123.0,
+            succeeded=True,
+            latency_us=42.0,
+            log_offset=17,
+        )
+        assert AuditEntry.from_json(entry.to_json()).log_offset == 17
+
+    def test_legacy_entries_without_log_offset_still_parse(self):
+        legacy = (
+            '{"error": null, "latency_us": 1.0, "leaves_updated": 2, '
+            '"request_id": "old", "succeeded": true, "timestamp": 1.0, '
+            '"variant_switches": 0}'
+        )
+        entry = AuditEntry.from_json(legacy)
+        assert entry.log_offset is None
+
 
 class TestAuditedUnlearner:
     def test_successful_request_is_recorded(self, fitted_model, income_split):

@@ -136,3 +136,34 @@ class TestCanaryRollback:
         report = DeploymentReport(version=1, timings=[StageTiming("x", 1.0, True)])
         with pytest.raises(KeyError):
             report.stage_seconds("y")
+
+
+class TestSnapshotStage:
+    def test_deployment_is_snapshotted_into_store(self, data, tmp_path):
+        from repro.core.ensemble import HedgeCutClassifier
+        from repro.persistence.store import ModelStore
+
+        train, validation = data
+        store = ModelStore(tmp_path / "store")
+        pipeline = RetrainingPipeline(
+            model_factory=lambda: HedgeCutClassifier(n_trees=2, seed=3),
+            costs=PipelineCosts(simulate_delays=False),
+            store=store,
+        )
+        report = pipeline.run(train, validation)
+        assert not report.rolled_back
+        assert report.timings[-1].stage == "snapshot"
+        assert not report.timings[-1].simulated  # measured, not modelled
+        assert len(store.snapshot_paths()) == 1
+        recovered = store.recover()
+        assert recovered.model.n_trained_on == train.n_rows
+
+    def test_non_hedgecut_deployments_skip_the_snapshot_stage(self, data, tmp_path):
+        from repro.persistence.store import ModelStore
+
+        train, validation = data
+        store = ModelStore(tmp_path / "store")
+        pipeline = make_pipeline(store=store)
+        report = pipeline.run(train, validation)
+        assert all(timing.stage != "snapshot" for timing in report.timings)
+        assert store.snapshot_paths() == []

@@ -69,6 +69,34 @@ class TestSimulation:
         p99 = report.latency_percentile(99)
         assert 0 < p50 <= p99
 
+    def test_tiny_workload_still_issues_an_unlearning_request(
+        self, fitted_model, income_split
+    ):
+        """unlearn_fraction > 0 must never round down to zero deletions."""
+        train, test = income_split
+        pool = [train.record(0)]
+        simulator = ServingSimulator(fitted_model, test, unlearn_pool=pool, seed=3)
+        # 2 * 0.2 rounds to 0; the documented floor guarantees one request.
+        report = simulator.run(RequestMix(n_requests=2, unlearn_fraction=0.2))
+        assert report.n_unlearnings == 1
+        assert fitted_model.n_unlearned == 1
+
+    def test_zero_fraction_issues_no_unlearning_request(
+        self, fitted_model, income_split
+    ):
+        train, test = income_split
+        pool = [train.record(0)]
+        simulator = ServingSimulator(fitted_model, test, unlearn_pool=pool, seed=3)
+        report = simulator.run(RequestMix(n_requests=2, unlearn_fraction=0.0))
+        assert report.n_unlearnings == 0
+        assert fitted_model.n_unlearned == 0
+
+    def test_unlearning_floor_respects_empty_pool(self, fitted_model, income_split):
+        _, test = income_split
+        simulator = ServingSimulator(fitted_model, test, unlearn_pool=[], seed=3)
+        report = simulator.run(RequestMix(n_requests=2, unlearn_fraction=0.4))
+        assert report.n_unlearnings == 0
+
     def test_empty_prediction_pool_rejected(self, fitted_model, income_split):
         import numpy as np
 

@@ -6,16 +6,26 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test bench-smoke lint
+.PHONY: test test-all bench-smoke bench-inference lint
 
-## Run the full unit/property/integration suite.
+## Run the fast unit/property/integration suite (slow-marked tests are
+## excluded via addopts in pyproject.toml).
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+## Run everything, including the slow full-registry equivalence matrix.
+test-all:
+	$(PYTHON) -m pytest tests/ -q -m "slow or not slow"
 
 ## One fast pass over every paper benchmark; formatted tables land in
 ## benchmarks/results.txt.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-disable-gc -q
+
+## Packed-inference benchmark; machine-readable results land in
+## BENCH_inference.json at the repo root.
+bench-inference:
+	$(PYTHON) benchmarks/bench_inference.py
 
 ## Static sanity: byte-compile everything (no third-party linter is
 ## vendored in the image).

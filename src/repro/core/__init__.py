@@ -14,6 +14,8 @@ Module map (paper section in parentheses):
   Algorithm 4).
 * :mod:`repro.core.compiled`    -- flat-array predictor for fast serving
   (Section 5 and the data-structure item of Section 8).
+* :mod:`repro.core.packed`      -- whole-ensemble packed inference kernel
+  with incremental leaf sync (the Section 8 idea taken to batch scale).
 * :mod:`repro.core.ensemble`    -- the public :class:`HedgeCutClassifier`.
 * :mod:`repro.core.regression`  -- :class:`HedgeCutRegressor`, the regression
   extension sketched as future work in Section 8.
@@ -28,6 +30,7 @@ from repro.core.exceptions import (
 from repro.core.importance import feature_importance, top_features
 from repro.core.multiclass_model import MulticlassHedgeCut
 from repro.core.inspect import inspect_model, render_tree
+from repro.core.packed import PackedEnsemble
 from repro.core.params import HedgeCutParams
 from repro.core.regression import HedgeCutRegressor
 from repro.core.validation import validate_model
@@ -36,6 +39,7 @@ __all__ = [
     "HedgeCutClassifier",
     "HedgeCutRegressor",
     "HedgeCutParams",
+    "PackedEnsemble",
     "DeletionBudgetExhausted",
     "NotFittedError",
     "UnlearningError",

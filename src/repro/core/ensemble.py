@@ -23,6 +23,7 @@ from repro.core.exceptions import (
     UnlearningError,
 )
 from repro.core.nodes import Leaf, MaintenanceNode, NodeCensus, SplitNode, census
+from repro.core.packed import PackedEnsemble
 from repro.core.params import HedgeCutParams
 from repro.core.tree import HedgeCutTree, TreeBuilder
 from repro.core.unlearning import UnlearningReport, unlearn_from_tree
@@ -117,6 +118,7 @@ class HedgeCutClassifier:
         )
         self._trees: list[HedgeCutTree] = []
         self._compiled: list[CompiledTree | None] = []
+        self._packed: PackedEnsemble | None = None
         self._schema: tuple[FeatureSchema, ...] | None = None
         self._deletion_budget = 0
         self._n_unlearned = 0
@@ -160,6 +162,7 @@ class HedgeCutClassifier:
                 for tree_rng in tree_rngs
             ]
         self._compiled = [None] * len(self._trees)
+        self._packed = None
         self._schema = dataset.schema
         self._deletion_budget = self.params.deletion_budget(dataset.n_rows)
         self._n_unlearned = 0
@@ -196,6 +199,20 @@ class HedgeCutClassifier:
             self._compiled[index] = compiled
         return compiled
 
+    @property
+    def packed(self) -> PackedEnsemble:
+        """The packed whole-ensemble inference kernel (built lazily once).
+
+        Unlike the per-tree compiled form, the pack is *maintained* under
+        unlearning rather than invalidated: leaf decrements write through
+        to its flat arrays in O(1), and the rare maintenance-node variant
+        switch repacks only the affected tree's slot range.
+        """
+        self._require_fitted()
+        if self._packed is None:
+            self._packed = PackedEnsemble(self._trees, self.schema)
+        return self._packed
+
     def predict(self, record: Record | Sequence[int] | np.ndarray) -> int:
         """Majority-vote label for one encoded record."""
         self._require_fitted()
@@ -215,7 +232,41 @@ class HedgeCutClassifier:
         return total / len(self._trees)
 
     def predict_batch(self, dataset: Dataset) -> np.ndarray:
-        """Majority-vote labels for a whole dataset (vectorised)."""
+        """Majority-vote labels for a whole dataset (packed kernel)."""
+        self._require_fitted()
+        return self.packed.predict_batch(dataset)
+
+    def predict_proba_batch(self, dataset: Dataset) -> np.ndarray:
+        """Soft-vote positive-class probabilities for a whole dataset.
+
+        Bit-for-bit identical to calling :meth:`predict_proba` per record
+        (the packed kernel accumulates the per-tree probabilities in the
+        same order), at batch speed.
+        """
+        self._require_fitted()
+        return self.packed.predict_proba_batch(dataset)
+
+    def predict_rows(self, values: np.ndarray) -> np.ndarray:
+        """Majority-vote labels for an ``(n_rows, n_features)`` code matrix.
+
+        This is the entry point of the micro-batched serving path, which
+        collects raw encoded requests rather than :class:`Dataset` objects.
+        """
+        self._require_fitted()
+        return self.packed.predict_rows(values)
+
+    def predict_proba_rows(self, values: np.ndarray) -> np.ndarray:
+        """Soft-vote probabilities for an ``(n_rows, n_features)`` code matrix."""
+        self._require_fitted()
+        return self.packed.predict_proba_rows(values)
+
+    def predict_batch_legacy(self, dataset: Dataset) -> np.ndarray:
+        """Pre-pack reference batch path: walk the ``T`` compiled trees.
+
+        Kept as the equivalence oracle for the packed kernel and as the
+        baseline of ``benchmarks/bench_inference.py``; production callers
+        should use :meth:`predict_batch`.
+        """
         self._require_fitted()
         votes = np.zeros(dataset.n_rows, dtype=np.int64)
         for index in range(len(self._trees)):
@@ -279,12 +330,15 @@ class HedgeCutClassifier:
             )
 
         report = UnlearningReport()
+        leaf_sink = self._packed.sync_leaf if self._packed is not None else None
         for index, tree in enumerate(self._trees):
-            tree_report = unlearn_from_tree(tree.root, record)
+            tree_report = unlearn_from_tree(tree.root, record, leaf_sink=leaf_sink)
             if tree_report.variant_switches:
-                # Structure changed: drop this tree's compiled form; it is
-                # rebuilt lazily on the next prediction.
+                # Structure changed: drop this tree's compiled form (rebuilt
+                # lazily) and repack only this tree's slot range in the pack.
                 self._compiled[index] = None
+                if self._packed is not None:
+                    self._packed.repack_tree(index)
             report.merge(tree_report)
         self._n_unlearned += 1
         return report
@@ -314,10 +368,13 @@ class HedgeCutClassifier:
         insertion load should still be retrained periodically.
         """
         self._require_fitted()
+        leaf_sink = self._packed.sync_leaf if self._packed is not None else None
         for index, tree in enumerate(self._trees):
-            switched = _learn_one_in_tree(tree.root, record)
+            switched = _learn_one_in_tree(tree.root, record, leaf_sink=leaf_sink)
             if switched:
                 self._compiled[index] = None
+                if self._packed is not None:
+                    self._packed.repack_tree(index)
 
     # ------------------------------------------------------------------ #
     # introspection and persistence
@@ -335,8 +392,23 @@ class HedgeCutClassifier:
         return self._n_trained_on
 
     def invalidate_compiled(self) -> None:
-        """Drop every compiled tree; they are rebuilt lazily on prediction."""
+        """Drop every derived read structure; rebuilt lazily on prediction."""
         self._compiled = [None] * len(self._trees)
+        self._packed = None
+
+    def invalidate_tree(self, index: int) -> None:
+        """Refresh the derived read structures of one tree after an
+        out-of-band structural edit (e.g. a manually forced variant switch).
+
+        Drops the tree's compiled form and repacks its slot range in the
+        packed kernel, if one has been built.
+        """
+        self._require_fitted()
+        if not 0 <= index < len(self._trees):
+            raise IndexError(f"tree index {index} out of range")
+        self._compiled[index] = None
+        if self._packed is not None:
+            self._packed.repack_tree(index)
 
     @classmethod
     def from_state(
@@ -368,6 +440,7 @@ class HedgeCutClassifier:
         )
         model._trees = list(trees)
         model._compiled = [None] * len(model._trees)
+        model._packed = None
         model._schema = tuple(schema)
         model._deletion_budget = deletion_budget
         model._n_unlearned = n_unlearned
@@ -403,7 +476,7 @@ class HedgeCutClassifier:
         )
 
 
-def _learn_one_in_tree(root, record: Record) -> bool:
+def _learn_one_in_tree(root, record: Record, leaf_sink=None) -> bool:
     """Insertion traversal; returns whether any variant switch occurred."""
     switched = False
     stack = [root]
@@ -413,6 +486,8 @@ def _learn_one_in_tree(root, record: Record) -> bool:
             node.n += 1
             if record.label == 1:
                 node.n_plus += 1
+            if leaf_sink is not None:
+                leaf_sink(node)
         elif isinstance(node, SplitNode):
             goes_left = node.split.goes_left_value(record.values[node.split.feature])
             _insert_into_stats(node.stats, record, goes_left)

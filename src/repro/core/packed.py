@@ -1,0 +1,413 @@
+"""Packed ensemble inference kernel (the Section 8 "denser data structure").
+
+:class:`CompiledTree` already flattens *one* tree for fast scalar
+prediction, but batch prediction still walks ``T`` compiled trees in a
+Python loop, re-partitioning the row set slot by slot. This module goes one
+step further and packs the **whole ensemble** into contiguous numpy
+structure-of-arrays:
+
+* ``feature[slot]`` -- feature id tested at the slot, or :data:`LEAF_MARKER`.
+* ``payload[slot]`` -- for internal slots the slot's *pre-scaled* offset
+  into the flat routing table (row index times table width); for leaf slots
+  the index into the flat leaf arrays.
+* ``right[slot]`` -- absolute slot id of the right child. Children are
+  emitted **adjacently** (``left == right - 1``), so advancing a frontier
+  is the branch-free ``right[slot] - goes_left`` with no select and no
+  second child gather.
+* ``route_flat[payload + code]`` -- one precomputed goes-left membership
+  row per internal slot, flattened into a single 1-D table. Categorical
+  subset bitmasks are expanded exactly once at pack time; numeric
+  ``code < cut`` tests are expanded into the same table so the traversal
+  kernel is completely branch-free.
+* ``leaf_n`` / ``leaf_n_plus`` -- leaf statistics mirrored into flat int64
+  arrays.
+
+Batch prediction is then a *level-synchronous vectorised traversal*: one
+active-frontier loop advances every ``(row, tree)`` pair simultaneously
+with five 1-D gathers per tree level (feature id, code, route bit, child,
+leaf check) instead of a Python iteration per node.
+
+Crucially the pack stays valid **under unlearning**:
+
+* leaf decrements write through to the flat leaf arrays in O(1) via
+  :meth:`PackedEnsemble.sync_leaf` (the ensemble passes it as the
+  ``leaf_sink`` of the unlearning traversal), and
+* a maintenance-node variant switch triggers :meth:`PackedEnsemble.repack_tree`,
+  which re-emits only the affected tree's slot range and splices it back --
+  the other ``T - 1`` trees are reused as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, TreeNode
+from repro.core.splits import CategoricalSplit, NumericSplit
+from repro.core.tree import HedgeCutTree
+from repro.dataprep.dataset import Dataset, FeatureSchema
+from repro.vectorized.masks import bitmask_membership_vector
+
+#: Sentinel feature id marking a leaf slot (same convention as CompiledTree).
+LEAF_MARKER = -1
+
+#: Row-chunk size of the traversal kernel; bounds the (rows x trees) state
+#: to a cache-friendly working set regardless of the batch size.
+DEFAULT_CHUNK_ROWS = 4096
+
+
+def _route_row(split: NumericSplit | CategoricalSplit, width: int) -> np.ndarray:
+    """Goes-left membership row of one split, padded to the table width."""
+    row = np.zeros(width, dtype=bool)
+    if isinstance(split, NumericSplit):
+        row[: split.cut] = True
+    else:
+        table = bitmask_membership_vector(split.subset_mask, split.cardinality)
+        row[: table.shape[0]] = table
+    return row
+
+
+@dataclass
+class _TreeSegment:
+    """One tree's packed arrays, with *tree-relative* offsets.
+
+    ``payload`` holds a segment-relative routing-table row for internal
+    slots and a segment-relative leaf index for leaf slots; the global
+    assembly adds the per-tree base offsets (and pre-scales route rows by
+    the table width). ``right`` points at the right child; the left child
+    always sits at ``right - 1``.
+    """
+
+    feature: np.ndarray
+    payload: np.ndarray
+    right: np.ndarray
+    route: np.ndarray
+    leaves: list[Leaf]
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.feature.shape[0])
+
+
+def _emit_segment(root: TreeNode, width: int) -> _TreeSegment:
+    """Flatten one tree (active maintenance variants resolved) iteratively.
+
+    The emission is iterative because fully grown trees on large datasets
+    exceed Python's recursion limit. Child slots are allocated in adjacent
+    pairs (left immediately before right) so the traversal kernel can
+    compute ``right - goes_left`` instead of selecting between two child
+    arrays.
+    """
+    feature: list[int] = [0]
+    payload: list[int] = [0]
+    right: list[int] = [0]
+    route_rows: list[np.ndarray] = []
+    leaves: list[Leaf] = []
+
+    stack: list[tuple[TreeNode, int]] = [(root, 0)]
+    while stack:
+        node, slot = stack.pop()
+        if isinstance(node, MaintenanceNode):
+            active = node.active
+            split, child_left, child_right = active.split, active.left, active.right
+        elif isinstance(node, SplitNode):
+            split, child_left, child_right = node.split, node.left, node.right
+        else:
+            feature[slot] = LEAF_MARKER
+            payload[slot] = len(leaves)
+            leaves.append(node)
+            continue
+        feature[slot] = split.feature
+        payload[slot] = len(route_rows)
+        route_rows.append(_route_row(split, width))
+        left_slot = len(feature)
+        feature.extend((0, 0))
+        payload.extend((0, 0))
+        right.extend((0, 0))
+        right[slot] = left_slot + 1
+        stack.append((child_right, left_slot + 1))
+        stack.append((child_left, left_slot))
+
+    route = (
+        np.stack(route_rows) if route_rows else np.zeros((0, width), dtype=bool)
+    )
+    return _TreeSegment(
+        feature=np.asarray(feature, dtype=np.intp),
+        payload=np.asarray(payload, dtype=np.intp),
+        right=np.asarray(right, dtype=np.intp),
+        route=route,
+        leaves=leaves,
+    )
+
+
+class PackedEnsemble:
+    """Contiguous structure-of-arrays form of a whole fitted ensemble.
+
+    Args:
+        trees: the fitted trees (active variants are resolved at pack time).
+        schema: the model's feature schema; its maximum code cardinality
+            fixes the routing-table width.
+        chunk_rows: row-chunk size of the traversal kernel.
+
+    The pack holds references to the live :class:`Leaf` objects so that
+    :meth:`sync_leaf` can mirror in-place decrements, and re-emits single
+    trees via :meth:`repack_tree` when a variant switch changes routing.
+    """
+
+    def __init__(
+        self,
+        trees: Sequence[HedgeCutTree],
+        schema: Sequence[FeatureSchema],
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        if not trees:
+            raise ValueError("cannot pack an empty ensemble")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        self._roots = [tree.root for tree in trees]
+        self._width = max(feature.n_values for feature in schema)
+        self._chunk_rows = chunk_rows
+        self._segments = [_emit_segment(root, self._width) for root in self._roots]
+        self._assemble()
+
+    # ------------------------------------------------------------------ #
+    # assembly and maintenance
+    # ------------------------------------------------------------------ #
+
+    def _assemble(self) -> None:
+        """Concatenate the per-tree segments into the global flat arrays."""
+        width = self._width
+        slot_base = 0
+        route_base = 0
+        leaf_base = 0
+        features: list[np.ndarray] = []
+        payloads: list[np.ndarray] = []
+        rights: list[np.ndarray] = []
+        routes: list[np.ndarray] = []
+        roots: list[int] = []
+        leaf_objects: list[Leaf] = []
+        for segment in self._segments:
+            internal = segment.feature != LEAF_MARKER
+            payload = segment.payload.copy()
+            payload[internal] = (payload[internal] + route_base) * width
+            payload[~internal] += leaf_base
+            features.append(segment.feature)
+            payloads.append(payload)
+            rights.append(segment.right + slot_base)
+            routes.append(segment.route)
+            roots.append(slot_base)
+            leaf_objects.extend(segment.leaves)
+            slot_base += segment.n_slots
+            route_base += segment.route.shape[0]
+            leaf_base += len(segment.leaves)
+
+        self.feature = np.concatenate(features)
+        self.payload = np.concatenate(payloads)
+        self.right = np.concatenate(rights)
+        self.route_flat = np.ascontiguousarray(
+            np.concatenate(routes, axis=0)
+        ).reshape(-1)
+        self.tree_roots = np.asarray(roots, dtype=np.intp)
+        self._leaf_objects = leaf_objects
+        self.leaf_n = np.asarray([leaf.n for leaf in leaf_objects], dtype=np.int64)
+        self.leaf_n_plus = np.asarray(
+            [leaf.n_plus for leaf in leaf_objects], dtype=np.int64
+        )
+        self._leaf_index = {id(leaf): i for i, leaf in enumerate(leaf_objects)}
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._segments)
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_n.shape[0])
+
+    def sync_leaf(self, leaf: Leaf) -> None:
+        """O(1) write-through of one mutated leaf's statistics.
+
+        Leaves of inactive maintenance variants are not part of the pack;
+        their updates are no-ops here and get picked up by
+        :meth:`repack_tree` if their variant ever becomes active.
+        """
+        index = self._leaf_index.get(id(leaf))
+        if index is not None:
+            self.leaf_n[index] = leaf.n
+            self.leaf_n_plus[index] = leaf.n_plus
+
+    def repack_tree(self, index: int) -> None:
+        """Re-emit one tree's slot range after a variant switch.
+
+        Only the affected tree is walked again; the other segments are
+        spliced back unchanged (their relative offsets are shifted
+        vectorised during reassembly).
+        """
+        if not 0 <= index < len(self._segments):
+            raise IndexError(f"tree index {index} out of range")
+        self._segments[index] = _emit_segment(self._roots[index], self._width)
+        self._assemble()
+
+    # ------------------------------------------------------------------ #
+    # deep copy / pickling: the id()-keyed leaf index must be rebuilt
+    # against the copied Leaf objects, so only the segments travel.
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        return {
+            "roots": self._roots,
+            "width": self._width,
+            "chunk_rows": self._chunk_rows,
+            "segments": self._segments,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._roots = state["roots"]
+        self._width = state["width"]
+        self._chunk_rows = state["chunk_rows"]
+        self._segments = state["segments"]
+        self._assemble()
+
+    # ------------------------------------------------------------------ #
+    # traversal kernel
+    # ------------------------------------------------------------------ #
+
+    def _leaf_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Route every (row, tree) pair to its leaf index.
+
+        Args:
+            values: ``(n_rows, n_features)`` integer code matrix.
+
+        Returns:
+            ``(n_rows, n_trees)`` matrix of global leaf indices.
+
+        The traversal is level-synchronous: each iteration advances the
+        whole still-active frontier one tree level with five 1-D gathers
+        (the feature id doubles as next level's leaf check), then compacts
+        the frontier as pairs reach their leaves. Rows are processed in
+        chunks to bound the state arrays to a cache-friendly working set.
+        """
+        n_rows, n_features = values.shape
+        n_trees = self.tree_roots.shape[0]
+        out = np.empty((n_rows, n_trees), dtype=np.intp)
+        out_flat = out.reshape(-1)
+        feature, payload, right = self.feature, self.payload, self.right
+        route_flat = self.route_flat
+        flat_values = np.ascontiguousarray(values).reshape(-1)
+        for start in range(0, n_rows, self._chunk_rows):
+            stop = min(start + self._chunk_rows, n_rows)
+            size = stop - start
+            cur = np.tile(self.tree_roots, size)
+            rowbase = np.repeat(
+                np.arange(start, stop, dtype=np.intp) * n_features, n_trees
+            )
+            pos = np.arange(
+                start * n_trees, stop * n_trees, dtype=np.intp
+            )
+            fid = feature[cur]
+            while True:
+                at_leaf = fid == LEAF_MARKER
+                if at_leaf.any():
+                    out_flat[pos[at_leaf]] = payload[cur[at_leaf]]
+                    live = ~at_leaf
+                    cur = cur[live]
+                    rowbase = rowbase[live]
+                    pos = pos[live]
+                    fid = fid[live]
+                if not cur.size:
+                    break
+                codes = flat_values[rowbase + fid]
+                goes_left = route_flat[payload[cur] + codes]
+                cur = right[cur] - goes_left
+                fid = feature[cur]
+        return out
+
+    @staticmethod
+    def _as_matrix(values: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(values)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"expected a (n_rows, n_features) code matrix, got shape "
+                f"{matrix.shape}"
+            )
+        if matrix.dtype != np.int64:
+            matrix = matrix.astype(np.int64)
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # prediction over raw code matrices
+    # ------------------------------------------------------------------ #
+
+    def predict_rows(self, values: np.ndarray) -> np.ndarray:
+        """Majority-vote labels for an ``(n_rows, n_features)`` code matrix."""
+        matrix = self._as_matrix(values)
+        leaves = self._leaf_matrix(matrix)
+        votes = (2 * self.leaf_n_plus[leaves] > self.leaf_n[leaves]).sum(axis=1)
+        return (2 * votes > self.n_trees).astype(np.uint8)
+
+    def predict_proba_rows(self, values: np.ndarray) -> np.ndarray:
+        """Soft-vote positive-class probabilities for a code matrix.
+
+        The per-tree probabilities are accumulated in tree order with
+        sequential float adds, exactly like the scalar
+        ``HedgeCutClassifier.predict_proba`` loop, so the results are
+        bit-for-bit identical to the per-record path.
+        """
+        matrix = self._as_matrix(values)
+        leaves = self._leaf_matrix(matrix)
+        counts = self.leaf_n[leaves]
+        positives = self.leaf_n_plus[leaves]
+        probabilities = np.where(
+            counts > 0, positives / np.maximum(counts, 1), 0.5
+        )
+        total = np.zeros(matrix.shape[0], dtype=np.float64)
+        for tree in range(self.n_trees):
+            total += probabilities[:, tree]
+        return total / self.n_trees
+
+    # ------------------------------------------------------------------ #
+    # prediction over datasets
+    # ------------------------------------------------------------------ #
+
+    def predict_batch(self, dataset: Dataset) -> np.ndarray:
+        """Majority-vote labels for a whole dataset."""
+        return self.predict_rows(dataset.feature_matrix())
+
+    def predict_proba_batch(self, dataset: Dataset) -> np.ndarray:
+        """Soft-vote probabilities for a whole dataset."""
+        return self.predict_proba_rows(dataset.feature_matrix())
+
+    # ------------------------------------------------------------------ #
+    # scalar path (single-record serving)
+    # ------------------------------------------------------------------ #
+
+    def predict_one(self, values: Sequence[int]) -> int:
+        """Majority-vote label for one record (tight scalar loop)."""
+        votes = 0
+        for tree in range(self.n_trees):
+            leaf = self._walk_one(values, tree)
+            votes += 1 if 2 * self.leaf_n_plus[leaf] > self.leaf_n[leaf] else 0
+        return 1 if 2 * votes > self.n_trees else 0
+
+    def predict_proba_one(self, values: Sequence[int]) -> float:
+        """Soft-vote positive-class probability for one record."""
+        total = 0.0
+        for tree in range(self.n_trees):
+            leaf = self._walk_one(values, tree)
+            count = self.leaf_n[leaf]
+            total += (self.leaf_n_plus[leaf] / count) if count > 0 else 0.5
+        return total / self.n_trees
+
+    def _walk_one(self, values: Sequence[int], tree: int) -> int:
+        feature, payload, right = self.feature, self.payload, self.right
+        route_flat = self.route_flat
+        slot = int(self.tree_roots[tree])
+        while (feature_id := feature[slot]) != LEAF_MARKER:
+            goes_left = route_flat[payload[slot] + values[feature_id]]
+            slot = int(right[slot]) - int(goes_left)
+        return int(payload[slot])

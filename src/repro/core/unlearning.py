@@ -12,11 +12,17 @@ split.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.exceptions import UnlearningError
 from repro.core.nodes import Leaf, SplitNode, TreeNode
 from repro.core.splits import SplitStats
 from repro.dataprep.dataset import Record
+
+#: Callback invoked with every leaf whose statistics were just mutated.
+#: The packed inference kernel registers one to mirror the decrement into
+#: its flat leaf arrays in O(1) (dirty-leaf write-through).
+LeafSink = Callable[[Leaf], None]
 
 
 @dataclass
@@ -66,11 +72,16 @@ def _remove_from_stats(stats: SplitStats, record: Record, goes_left: bool) -> No
     stats.remove(positive, goes_left)
 
 
-def unlearn_from_tree(root: TreeNode, record: Record) -> UnlearningReport:
+def unlearn_from_tree(
+    root: TreeNode, record: Record, leaf_sink: LeafSink | None = None
+) -> UnlearningReport:
     """Apply Algorithm 4 to one tree; returns the per-tree report.
 
     The traversal is iterative with an explicit stack because maintenance
-    nodes fan the record out into every variant.
+    nodes fan the record out into every variant. When ``leaf_sink`` is
+    given it is called with every decremented leaf, letting derived
+    read-path structures (the packed ensemble) stay in sync without a
+    recompile.
     """
     report = UnlearningReport()
     stack: list[TreeNode] = [root]
@@ -78,6 +89,8 @@ def unlearn_from_tree(root: TreeNode, record: Record) -> UnlearningReport:
         node = stack.pop()
         if isinstance(node, Leaf):
             _remove_from_leaf(node, record)
+            if leaf_sink is not None:
+                leaf_sink(node)
             report.leaves_updated += 1
         elif isinstance(node, SplitNode):
             report.robust_nodes_visited += 1

@@ -1,13 +1,28 @@
 """Evaluation utilities: splits, metrics, timers and statistical tests."""
 
-from repro.evaluation.curves import auc_score, roc_curve
+from repro.evaluation.curves import (
+    auc_for_model,
+    auc_score,
+    average_precision,
+    model_scores,
+    pr_curve,
+    pr_curve_for_model,
+    roc_curve,
+    roc_curve_for_model,
+)
 from repro.evaluation.metrics import accuracy, confusion_counts, error_rate
 from repro.evaluation.splits import train_test_split
 from repro.evaluation.stats import RunStats, Timer, same_distribution, summarize
 
 __all__ = [
     "auc_score",
+    "auc_for_model",
+    "average_precision",
+    "model_scores",
+    "pr_curve",
+    "pr_curve_for_model",
     "roc_curve",
+    "roc_curve_for_model",
     "accuracy",
     "error_rate",
     "confusion_counts",

@@ -13,6 +13,9 @@ system in three tiers:
   sequenced through a write-ahead log (:mod:`repro.persistence`) before
   being applied, with per-replica staleness tracking, configurable read
   consistency and crash recovery from snapshot + log replay.
+* :class:`MicroBatcher` -- the micro-batching front end of the engine:
+  collects prediction requests up to a size/delay bound and answers each
+  batch with a single packed-kernel call on the next replica.
 * :class:`RetrainingPipeline` -- the heavyweight retrain-and-redeploy
   contrast of Section 1, with staged deployment, canary evaluation and
   rollback over a :class:`ModelRegistry`.
@@ -20,6 +23,12 @@ system in three tiers:
 
 from repro.serving.audit import AuditedUnlearner, AuditEntry
 from repro.serving.engine import CONSISTENCY_MODES, ReplicatedServingEngine
+from repro.serving.microbatch import (
+    MicroBatchConfig,
+    MicroBatcher,
+    MicroBatchStats,
+    PendingPrediction,
+)
 from repro.serving.pipeline import (
     DeploymentReport,
     ModelRegistry,
@@ -37,6 +46,10 @@ __all__ = [
     "AuditEntry",
     "CONSISTENCY_MODES",
     "ReplicatedServingEngine",
+    "MicroBatcher",
+    "MicroBatchConfig",
+    "MicroBatchStats",
+    "PendingPrediction",
     "RequestMix",
     "ServingSimulator",
     "ThroughputReport",

@@ -177,6 +177,16 @@ class ReplicatedServingEngine:
         """Route one batch prediction request to the next replica."""
         return self._next_replica().model.predict_batch(dataset)
 
+    def predict_rows(self, values: np.ndarray) -> np.ndarray:
+        """Answer one micro-batch of raw code rows with a single packed call.
+
+        This is the dispatch target of
+        :class:`~repro.serving.microbatch.MicroBatcher`: the whole
+        ``(n_rows, n_features)`` matrix is routed to one replica and
+        traversed by its packed ensemble kernel in one call.
+        """
+        return self._next_replica().model.predict_rows(values)
+
     def unlearn(
         self, request_id: str, record: Record, allow_budget_overrun: bool = False
     ) -> AuditEntry:

@@ -35,13 +35,23 @@ class RequestMix:
 
 @dataclass
 class ThroughputReport:
-    """Measurements of one serving-simulator run."""
+    """Measurements of one serving-simulator run.
+
+    When the simulator runs with a batch window (``batch_size`` set),
+    predictions are dispatched in micro-batches through the packed kernel:
+    ``n_batches`` counts the dispatches, ``batch_latencies_us`` holds one
+    latency sample per dispatch, and ``rows_per_second`` reports the
+    prediction throughput over the time actually spent inside dispatches.
+    """
 
     n_predictions: int
     n_unlearnings: int
     total_seconds: float
     prediction_latencies_us: list[float] = field(default_factory=list)
     unlearning_latencies_us: list[float] = field(default_factory=list)
+    n_batches: int = 0
+    batch_latencies_us: list[float] = field(default_factory=list)
+    batch_seconds: float = 0.0
 
     @property
     def requests_per_second(self) -> float:
@@ -54,13 +64,25 @@ class ThroughputReport:
             return 0.0
         return self.n_predictions / self.total_seconds
 
+    @property
+    def rows_per_second(self) -> float:
+        """Batched prediction throughput (rows over in-dispatch seconds)."""
+        if self.batch_seconds <= 0:
+            return 0.0
+        return self.n_predictions / self.batch_seconds
+
     def latency_percentile(self, percentile: float, kind: str = "prediction") -> float:
-        """Latency percentile in microseconds for one request kind."""
-        samples = (
-            self.prediction_latencies_us
-            if kind == "prediction"
-            else self.unlearning_latencies_us
-        )
+        """Latency percentile in microseconds for one request kind.
+
+        ``kind`` is ``"prediction"``, ``"unlearning"`` or ``"batch"`` (one
+        sample per micro-batch dispatch of a batched run).
+        """
+        if kind == "prediction":
+            samples = self.prediction_latencies_us
+        elif kind == "batch":
+            samples = self.batch_latencies_us
+        else:
+            samples = self.unlearning_latencies_us
         if not samples:
             raise ValueError(f"no {kind} latencies were recorded")
         return float(np.percentile(np.asarray(samples), percentile))
@@ -77,6 +99,10 @@ class ServingSimulator:
         seed: request-schedule randomness.
         record_latencies: collect per-request latencies (adds measurement
             overhead; throughput experiments disable it).
+        batch_size: when set, predictions are collected into micro-batches
+            of up to this many requests and dispatched through the packed
+            batch kernel; an unlearning request (or the end of the run)
+            flushes the open batch first, preserving request ordering.
     """
 
     def __init__(
@@ -86,16 +112,21 @@ class ServingSimulator:
         unlearn_pool: list[Record] | None = None,
         seed: int | None = None,
         record_latencies: bool = False,
+        batch_size: int | None = None,
     ) -> None:
         if prediction_pool.n_rows == 0:
             raise ValueError("prediction pool must not be empty")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive when set")
         self.model = model
         self.prediction_values = [
             prediction_pool.record(row).values for row in range(prediction_pool.n_rows)
         ]
+        self._pool_matrix = prediction_pool.feature_matrix()
         self.unlearn_pool = list(unlearn_pool or [])
         self.seed = seed
         self.record_latencies = record_latencies
+        self.batch_size = batch_size
 
     def run(self, mix: RequestMix) -> ThroughputReport:
         """Execute one workload and measure throughput (and latencies).
@@ -140,6 +171,12 @@ class ServingSimulator:
             total_seconds=0.0,
         )
 
+        if self.batch_size is not None:
+            self._run_batched(
+                mix, unlearn_slots, prediction_choices, unlearn_queue, report
+            )
+            return report
+
         start = time.perf_counter()
         if self.record_latencies:
             for slot in range(mix.n_requests):
@@ -160,3 +197,55 @@ class ServingSimulator:
                     predict(prediction_values[prediction_choices[slot]])
         report.total_seconds = time.perf_counter() - start
         return report
+
+    def _run_batched(
+        self,
+        mix: RequestMix,
+        unlearn_slots: set[int],
+        prediction_choices: np.ndarray,
+        unlearn_queue,
+        report: ThroughputReport,
+    ) -> None:
+        """Batched request loop: predictions go through the packed kernel.
+
+        Consecutive prediction requests accumulate into a micro-batch that
+        is dispatched when it reaches ``batch_size``, when an unlearning
+        request arrives (ordering: the batch predates the deletion), or at
+        the end of the run.
+        """
+        predict_rows = self.model.predict_rows
+        unlearn = self.model.unlearn
+        pool_matrix = self._pool_matrix
+        batch_size = self.batch_size
+        pending: list[int] = []
+
+        def dispatch() -> None:
+            if not pending:
+                return
+            rows = pool_matrix[np.asarray(pending, dtype=np.intp)]
+            batch_start = time.perf_counter()
+            predict_rows(rows)
+            elapsed = time.perf_counter() - batch_start
+            report.n_batches += 1
+            report.batch_seconds += elapsed
+            if self.record_latencies:
+                report.batch_latencies_us.append(elapsed * 1e6)
+            pending.clear()
+
+        start = time.perf_counter()
+        for slot in range(mix.n_requests):
+            if slot in unlearn_slots:
+                dispatch()
+                if self.record_latencies:
+                    request_start = time.perf_counter()
+                    unlearn(next(unlearn_queue))
+                    elapsed = (time.perf_counter() - request_start) * 1e6
+                    report.unlearning_latencies_us.append(elapsed)
+                else:
+                    unlearn(next(unlearn_queue))
+            else:
+                pending.append(int(prediction_choices[slot]))
+                if len(pending) >= batch_size:
+                    dispatch()
+        dispatch()
+        report.total_seconds = time.perf_counter() - start

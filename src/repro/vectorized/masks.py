@@ -9,6 +9,7 @@ SIMD kernel operates on.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable
 
 import numpy as np
@@ -40,12 +41,20 @@ def bitmask_to_subset(mask: int) -> frozenset[int]:
     )
 
 
+@lru_cache(maxsize=65536)
 def bitmask_membership_vector(mask: int, cardinality: int) -> np.ndarray:
     """Boolean lookup table ``table[code] -> code in mask`` of given length.
 
     The vectorised categorical kernel indexes this table with the whole code
     column at once, mirroring how the SIMD version tests four 32-bit values
     per instruction.
+
+    The result is memoised per ``(mask, cardinality)``: a trained ensemble
+    tests the same few thousand distinct subsets over and over (every batch
+    visit of every categorical slot), so the table is built once and shared.
+    The cached array is read-only; callers that need to mutate it must copy.
     """
     codes = np.arange(cardinality, dtype=np.int64)
-    return ((mask >> codes) & 1).astype(bool)
+    table = ((mask >> codes) & 1).astype(bool)
+    table.setflags(write=False)
+    return table

@@ -1,0 +1,232 @@
+"""Equivalence and maintenance tests for the packed ensemble kernel.
+
+The packed kernel must be an *exact* drop-in for the per-record prediction
+path: identical labels and bit-for-bit identical probabilities -- on a
+fresh model, in the middle of an unlearning campaign (O(1) leaf
+write-through), after a forced maintenance-variant switch (single-tree
+repack) and across a snapshot/restore round trip. The fast cases run on
+the shared fixtures; the full registry matrix is ``slow``-marked and runs
+under ``make test-all``.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.nodes import MaintenanceNode, SplitNode
+from repro.core.packed import LEAF_MARKER, PackedEnsemble
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.evaluation.splits import train_test_split
+from repro.persistence.snapshot import load_snapshot, save_snapshot
+
+from tests.conftest import make_random_dataset
+
+
+def _scalar_labels(model, dataset):
+    return np.asarray(
+        [model.predict(dataset.record(row).values) for row in range(dataset.n_rows)],
+        dtype=np.uint8,
+    )
+
+
+def _scalar_probas(model, dataset):
+    return np.asarray(
+        [model.predict_proba(dataset.record(row).values) for row in range(dataset.n_rows)]
+    )
+
+
+def assert_packed_equivalent(model, dataset):
+    """Packed labels/probabilities match the per-record path exactly."""
+    matrix = dataset.feature_matrix()
+    assert np.array_equal(model.predict_rows(matrix), _scalar_labels(model, dataset))
+    assert np.array_equal(
+        model.predict_proba_rows(matrix), _scalar_probas(model, dataset)
+    )
+
+
+def _force_variant_switch(model) -> bool:
+    """Flip the active variant of the first switchable maintenance node.
+
+    Returns True when a node was switched (and the tree repacked).
+    """
+    for index, tree in enumerate(model.trees):
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, MaintenanceNode):
+                if len(node.variants) > 1:
+                    node.active_index = (node.active_index + 1) % len(node.variants)
+                    model.invalidate_tree(index)
+                    return True
+                active = node.active
+                stack.extend((active.left, active.right))
+            elif isinstance(node, SplitNode):
+                stack.extend((node.left, node.right))
+    return False
+
+
+class TestFreshEquivalence:
+    def test_labels_and_probas_match_per_record(
+        self, fitted_model_session, income_split
+    ):
+        _, test = income_split
+        assert_packed_equivalent(fitted_model_session, test)
+
+    def test_matches_legacy_batch_path(self, fitted_model_session, income_split):
+        _, test = income_split
+        legacy = fitted_model_session.predict_batch_legacy(test)
+        assert np.array_equal(fitted_model_session.predict_batch(test), legacy)
+
+    def test_scalar_walk_matches_per_record(self, fitted_model_session, income_split):
+        _, test = income_split
+        packed = fitted_model_session.packed
+        for row in range(0, test.n_rows, 7):
+            values = test.record(row).values
+            assert packed.predict_one(values) == fitted_model_session.predict(values)
+            assert packed.predict_proba_one(values) == fitted_model_session.predict_proba(
+                values
+            )
+
+    def test_chunked_traversal_is_chunk_size_invariant(
+        self, fitted_model_session, income_split
+    ):
+        _, test = income_split
+        matrix = test.feature_matrix()
+        reference = fitted_model_session.predict_proba_rows(matrix)
+        tiny_chunks = PackedEnsemble(
+            fitted_model_session.trees, fitted_model_session.schema, chunk_rows=7
+        )
+        assert np.array_equal(tiny_chunks.predict_proba_rows(matrix), reference)
+
+
+class TestStructure:
+    def test_children_are_adjacent(self, fitted_model_session):
+        packed = fitted_model_session.packed
+        internal = packed.feature != LEAF_MARKER
+        rights = packed.right[internal]
+        # The traversal computes left = right - 1; both children must be
+        # real slots inside the pack.
+        assert (rights >= 1).all()
+        assert (rights < packed.n_slots).all()
+
+    def test_leaf_payloads_cover_leaf_arrays(self, fitted_model_session):
+        packed = fitted_model_session.packed
+        leaf_payloads = packed.payload[packed.feature == LEAF_MARKER]
+        assert sorted(leaf_payloads.tolist()) == list(range(packed.n_leaves))
+
+    def test_rejects_empty_ensemble_and_bad_chunking(self, fitted_model_session):
+        with pytest.raises(ValueError):
+            PackedEnsemble([], fitted_model_session.schema)
+        with pytest.raises(ValueError):
+            PackedEnsemble(
+                fitted_model_session.trees, fitted_model_session.schema, chunk_rows=0
+            )
+
+    def test_rejects_non_matrix_input(self, fitted_model_session):
+        with pytest.raises(ValueError):
+            fitted_model_session.packed.predict_rows(np.arange(3))
+
+
+class TestUnlearningMaintenance:
+    def test_equivalent_mid_campaign(self, fitted_model, income_split):
+        train, test = income_split
+        fitted_model.predict_batch(test)  # build the pack up front
+        for row in range(0, 40):
+            fitted_model.unlearn(train.record(row), allow_budget_overrun=True)
+            if row % 8 == 0:
+                assert_packed_equivalent(fitted_model, test)
+        assert_packed_equivalent(fitted_model, test)
+
+    def test_leaf_write_through_mirrors_leaf_stats(self, fitted_model, income_split):
+        train, test = income_split
+        before_total = int(fitted_model.packed.leaf_n.sum())
+        fitted_model.unlearn(train.record(0), allow_budget_overrun=True)
+        # Whether the deletion only decremented leaves (write-through) or
+        # also switched a variant (single-tree repack), the flat arrays
+        # must mirror the live leaf objects exactly.
+        live_total = sum(leaf.n for leaf in fitted_model.packed._leaf_objects)
+        assert int(fitted_model.packed.leaf_n.sum()) == live_total
+        assert int(fitted_model.packed.leaf_n.sum()) <= before_total
+
+    def test_equivalent_after_forced_variant_switch(self, fitted_model, income_split):
+        _, test = income_split
+        fitted_model.predict_batch(test)
+        switched = _force_variant_switch(fitted_model)
+        assert switched, "fixture model has no switchable maintenance node"
+        assert_packed_equivalent(fitted_model, test)
+
+    def test_learn_one_keeps_pack_in_sync(self, fitted_model, income_split):
+        train, test = income_split
+        fitted_model.predict_batch(test)
+        fitted_model.learn_one(train.record(1))
+        assert_packed_equivalent(fitted_model, test)
+
+    def test_deepcopy_write_through_targets_copied_leaves(
+        self, fitted_model, income_split
+    ):
+        train, test = income_split
+        fitted_model.predict_batch(test)  # pack exists before the copy
+        clone = copy.deepcopy(fitted_model)
+        baseline = fitted_model.predict_proba_rows(test.feature_matrix())
+        for row in range(10):
+            clone.unlearn(train.record(row), allow_budget_overrun=True)
+        assert_packed_equivalent(clone, test)
+        # The original model's pack must be untouched by the clone's campaign.
+        assert np.array_equal(
+            fitted_model.predict_proba_rows(test.feature_matrix()), baseline
+        )
+
+
+class TestSnapshotRoundTrip:
+    def test_restore_then_pack_is_identical(self, fitted_model, income_split, tmp_path):
+        train, test = income_split
+        for row in range(8):
+            fitted_model.unlearn(train.record(row), allow_budget_overrun=True)
+        expected = fitted_model.predict_proba_batch(test)
+
+        path = tmp_path / "model.hedgecut"
+        save_snapshot(fitted_model, path)
+        restored, _ = load_snapshot(path)
+        assert np.array_equal(restored.predict_proba_batch(test), expected)
+        assert_packed_equivalent(restored, test)
+
+
+@pytest.mark.slow
+class TestFullRegistryMatrix:
+    """The equivalence matrix over every registry dataset (``make test-all``)."""
+
+    @pytest.mark.parametrize("name", sorted(available_datasets()))
+    def test_packed_equivalence_through_lifecycle(self, name, tmp_path):
+        data = load_dataset(name, n_rows=1200, seed=3)
+        train, test = train_test_split(data, test_fraction=0.25, seed=3)
+        model = HedgeCutClassifier(n_trees=4, epsilon=0.02, seed=5).fit(train)
+
+        # Fresh model.
+        assert_packed_equivalent(model, test)
+
+        # Mid unlearning campaign (leaf write-through + possible switches).
+        for row in range(30):
+            model.unlearn(train.record(row), allow_budget_overrun=True)
+        assert_packed_equivalent(model, test)
+
+        # Forced variant switch (single-tree repack), where one exists.
+        if _force_variant_switch(model):
+            assert_packed_equivalent(model, test)
+
+        # Snapshot -> restore -> pack identity.
+        path = tmp_path / f"{name}.hedgecut"
+        save_snapshot(model, path)
+        restored, _ = load_snapshot(path)
+        assert np.array_equal(
+            restored.predict_proba_batch(test), model.predict_proba_batch(test)
+        )
+        assert_packed_equivalent(restored, test)
+
+
+def test_random_dataset_equivalence():
+    """Hand-built mixed-schema dataset (numeric + categorical routing)."""
+    data = make_random_dataset(n_rows=260, seed=23)
+    model = HedgeCutClassifier(n_trees=3, epsilon=0.05, seed=7).fit(data)
+    assert_packed_equivalent(model, data)

@@ -1,10 +1,19 @@
-"""Tests for ROC/AUC."""
+"""Tests for ROC/AUC and precision-recall curves."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.evaluation.curves import auc_score, roc_curve
+from repro.evaluation.curves import (
+    auc_for_model,
+    auc_score,
+    average_precision,
+    model_scores,
+    pr_curve,
+    pr_curve_for_model,
+    roc_curve,
+    roc_curve_for_model,
+)
 
 
 class TestRocCurve:
@@ -77,15 +86,65 @@ class TestRocCurve:
         assert auc == pytest.approx(expected)
 
 
-class TestModelAuc:
-    def test_hedgecut_scores_rank_better_than_chance(
+class TestPrecisionRecall:
+    def test_perfect_ranking_has_ap_one(self):
+        scores = np.asarray([0.9, 0.8, 0.2, 0.1])
+        labels = np.asarray([1, 1, 0, 0])
+        assert average_precision(scores, labels) == pytest.approx(1.0)
+
+    def test_curve_endpoints(self):
+        scores = np.asarray([0.9, 0.4, 0.6, 0.1])
+        labels = np.asarray([1, 0, 1, 0])
+        curve = pr_curve(scores, labels)
+        assert curve.recall[-1] == 0.0
+        assert curve.precision[-1] == 1.0
+        assert curve.recall[0] == 1.0  # lowest threshold captures everything
+
+    def test_recall_is_monotone_non_increasing(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, size=200)
+        curve = pr_curve(scores, labels)
+        assert (np.diff(curve.recall) <= 0).all()
+
+    def test_random_scores_ap_near_base_rate(self):
+        rng = np.random.default_rng(3)
+        scores = rng.random(4000)
+        labels = (rng.random(4000) < 0.3).astype(int)
+        assert average_precision(scores, labels) == pytest.approx(0.3, abs=0.05)
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(ValueError):
+            pr_curve(np.asarray([0.1, 0.9]), np.asarray([0, 0]))
+
+
+class TestModelCurves:
+    """Model-level entry points route through the packed batch kernel."""
+
+    def test_batched_scores_match_per_record_loop(
         self, fitted_model_session, income_split
     ):
         _, test = income_split
-        scores = np.asarray(
+        per_record = np.asarray(
             [
                 fitted_model_session.predict_proba(test.record(row).values)
                 for row in range(test.n_rows)
             ]
         )
-        assert auc_score(scores, test.labels) > 0.6
+        assert np.array_equal(model_scores(fitted_model_session, test), per_record)
+
+    def test_hedgecut_scores_rank_better_than_chance(
+        self, fitted_model_session, income_split
+    ):
+        _, test = income_split
+        assert auc_for_model(fitted_model_session, test) > 0.6
+
+    def test_roc_and_pr_agree_with_raw_curves(self, fitted_model_session, income_split):
+        _, test = income_split
+        scores = model_scores(fitted_model_session, test)
+        roc = roc_curve_for_model(fitted_model_session, test)
+        assert roc.auc == pytest.approx(auc_score(scores, test.labels))
+        pr = pr_curve_for_model(fitted_model_session, test)
+        assert pr.average_precision == pytest.approx(
+            average_precision(scores, test.labels)
+        )

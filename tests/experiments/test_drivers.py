@@ -77,7 +77,17 @@ class TestTable2:
         assert row.predictions_per_second.mean > 0
         assert row.predictions_per_second_with_unlearning.mean > 0
         assert 0.0 <= row.ks_p_value <= 1.0
-        assert "predictions/sec" in result.format_table()
+        assert row.batched_rows_per_second is None
+        rendered = result.format_table()
+        assert "predictions/sec" in rendered
+        assert "batched rows/sec" not in rendered
+
+    def test_batched_serving_column(self, tiny_config):
+        result = table2.run(tiny_config, n_requests=100, batch_size=32)
+        row = result.rows[0]
+        assert row.batched_rows_per_second is not None
+        assert row.batched_rows_per_second.mean > 0
+        assert "batched rows/sec" in result.format_table()
 
 
 class TestFigure4a:

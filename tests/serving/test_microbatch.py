@@ -1,0 +1,132 @@
+"""Tests for the micro-batching front end of the replicated engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.persistence.store import ModelStore
+from repro.serving.engine import ReplicatedServingEngine
+from repro.serving.microbatch import (
+    FLUSH_FORCED,
+    FLUSH_FULL,
+    FLUSH_WINDOW,
+    MicroBatchConfig,
+    MicroBatcher,
+)
+
+from tests.conftest import make_random_dataset
+
+
+class FakeClock:
+    """Deterministic clock; tests advance it explicitly (seconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_random_dataset(n_rows=300, seed=11)
+
+
+@pytest.fixture()
+def model(dataset):
+    return HedgeCutClassifier(n_trees=4, epsilon=0.05, seed=5).fit(dataset)
+
+
+@pytest.fixture()
+def engine(tmp_path, model):
+    return ReplicatedServingEngine(model, ModelStore(tmp_path / "store"), n_replicas=2)
+
+
+def _batcher(engine, max_batch=4, max_delay_ms=5.0, clock=None):
+    config = MicroBatchConfig(max_batch=max_batch, max_delay_ms=max_delay_ms)
+    return MicroBatcher(engine, config, clock=clock or FakeClock())
+
+
+class TestConfig:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            MicroBatchConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatchConfig(max_delay_ms=-1.0)
+
+
+class TestFlushTriggers:
+    def test_full_batch_dispatches_immediately(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=3)
+        handles = [batcher.submit_predict(dataset.record(row)) for row in range(3)]
+        assert all(handle.done for handle in handles)
+        assert batcher.n_queued == 0
+        assert batcher.stats.flush_reasons[FLUSH_FULL] == 1
+
+    def test_window_expiry_dispatches(self, engine, dataset):
+        clock = FakeClock()
+        batcher = _batcher(engine, max_batch=100, max_delay_ms=2.0, clock=clock)
+        first = batcher.submit_predict(dataset.record(0))
+        assert not first.done
+        clock.advance(0.0025)  # 2.5 ms > the 2 ms window
+        second = batcher.submit_predict(dataset.record(1))
+        assert first.done and second.done
+        assert batcher.stats.flush_reasons[FLUSH_WINDOW] == 1
+
+    def test_result_forces_flush(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=100)
+        handle = batcher.submit_predict(dataset.record(0))
+        assert not handle.done
+        label = handle.result()
+        assert handle.done
+        assert label in (0, 1)
+        assert batcher.stats.flush_reasons[FLUSH_FORCED] == 1
+
+    def test_flush_on_empty_queue_is_noop(self, engine):
+        batcher = _batcher(engine)
+        assert batcher.flush() == 0
+        assert batcher.stats.n_batches == 0
+
+
+class TestCorrectness:
+    def test_batched_labels_match_single_record_path(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=8)
+        rows = list(range(40))
+        handles = [batcher.submit_predict(dataset.record(row)) for row in rows]
+        batcher.flush()
+        expected = engine.primary.predict_batch(dataset.take(np.asarray(rows)))
+        assert [handle.result() for handle in handles] == expected.tolist()
+
+    def test_unlearn_flushes_queued_predictions_first(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=100)
+        handles = [batcher.submit_predict(dataset.record(row)) for row in range(5)]
+        entry = batcher.unlearn("req-1", dataset.record(0), allow_budget_overrun=True)
+        assert entry.succeeded
+        assert all(handle.done for handle in handles)
+        assert batcher.n_queued == 0
+        assert batcher.stats.flush_reasons[FLUSH_FORCED] == 1
+
+    def test_accepts_raw_value_sequences(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=2)
+        record = dataset.record(3)
+        by_record = batcher.submit_predict(record)
+        by_values = batcher.submit_predict(record.values)
+        assert by_record.result() == by_values.result()
+
+
+class TestStats:
+    def test_dispatch_accounting(self, engine, dataset):
+        # Real clock here: the throughput figure needs nonzero elapsed time.
+        batcher = MicroBatcher(engine, MicroBatchConfig(max_batch=4))
+        for row in range(10):
+            batcher.submit_predict(dataset.record(row))
+        batcher.flush()
+        stats = batcher.stats
+        assert stats.n_requests == 10
+        assert stats.n_batches == 3  # 4 + 4 + forced 2
+        assert stats.batch_sizes == [4, 4, 2]
+        assert stats.mean_batch_size == pytest.approx(10 / 3)
+        assert stats.rows_per_second > 0

@@ -104,3 +104,43 @@ class TestSimulation:
         empty = test.take(np.asarray([], dtype=np.int64))
         with pytest.raises(ValueError):
             ServingSimulator(fitted_model, empty)
+
+
+class TestBatchedSimulation:
+    """The batch-window path routes predictions through the packed kernel."""
+
+    def test_rejects_bad_batch_size(self, fitted_model, income_split):
+        _, test = income_split
+        with pytest.raises(ValueError):
+            ServingSimulator(fitted_model, test, batch_size=0)
+
+    def test_pure_prediction_workload_batches(self, fitted_model, income_split):
+        _, test = income_split
+        simulator = ServingSimulator(fitted_model, test, seed=0, batch_size=32)
+        report = simulator.run(RequestMix(n_requests=100))
+        assert report.n_predictions == 100
+        assert report.n_batches == 4  # 32 + 32 + 32 + 4
+        assert report.rows_per_second > 0
+        assert report.requests_per_second > 0
+
+    def test_unlearning_flushes_open_batch(self, fitted_model, income_split):
+        train, test = income_split
+        pool = [train.record(row) for row in range(3)]
+        simulator = ServingSimulator(
+            fitted_model, test, unlearn_pool=pool, seed=0, batch_size=1000
+        )
+        report = simulator.run(RequestMix(n_requests=200, unlearn_fraction=0.01))
+        assert report.n_unlearnings >= 1
+        assert report.n_predictions + report.n_unlearnings == 200
+        # Every deletion cuts the open batch, plus the final flush.
+        assert report.n_batches >= report.n_unlearnings
+        assert fitted_model.n_unlearned == report.n_unlearnings
+
+    def test_batch_latencies_recorded(self, fitted_model, income_split):
+        _, test = income_split
+        simulator = ServingSimulator(
+            fitted_model, test, seed=0, record_latencies=True, batch_size=16
+        )
+        report = simulator.run(RequestMix(n_requests=64))
+        assert len(report.batch_latencies_us) == report.n_batches == 4
+        assert report.latency_percentile(50, kind="batch") > 0

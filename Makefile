@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-all bench-smoke bench-inference lint
+.PHONY: test test-all bench-smoke bench-inference bench-training lint
 
 ## Run the fast unit/property/integration suite (slow-marked tests are
 ## excluded via addopts in pyproject.toml).
@@ -26,6 +26,11 @@ bench-smoke:
 ## BENCH_inference.json at the repo root.
 bench-inference:
 	$(PYTHON) benchmarks/bench_inference.py
+
+## Training-throughput benchmark (recursive vs frontier trainer);
+## machine-readable results land in BENCH_training.json at the repo root.
+bench-training:
+	$(PYTHON) benchmarks/bench_training.py
 
 ## Static sanity: byte-compile everything (no third-party linter is
 ## vendored in the image).

@@ -1,0 +1,201 @@
+"""Training benchmark: recursive vs frontier tree growth for HedgeCut.
+
+Measures, per dataset, the training throughput (trees/second) of the
+depth-first recursive builder against the level-synchronous histogram
+frontier trainer (``trainer="frontier"``), both single-process and
+through the process-pool path (``n_jobs > 1``). The two trainers draw
+random numbers in different orders, so the fitted ensembles are compared
+on held-out accuracy rather than node-by-node (the structural and
+distributional equivalence suite lives in ``tests/training/``).
+
+Timings are interleaved (recursive then frontier within each repeat) and
+best-of-``repeats``, which keeps the comparison fair under machine noise.
+Results land in ``BENCH_training.json`` (machine-readable; committed
+alongside the code). Run via ``make bench-training``; ``--smoke`` runs a
+seconds-scale variant that prints but does not overwrite the artefact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.evaluation.splits import train_test_split
+
+
+def _fit_once(train, trainer: str, args, n_jobs: int) -> tuple[float, HedgeCutClassifier]:
+    model = HedgeCutClassifier(
+        n_trees=args.n_trees,
+        epsilon=args.epsilon,
+        max_tries_per_split=args.max_tries,
+        trainer=trainer,
+        n_jobs=n_jobs,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    model.fit(train)
+    return time.perf_counter() - start, model
+
+
+def _best_fit_seconds(train, args, n_jobs: int) -> tuple[dict[str, float], dict]:
+    """Interleaved best-of-repeats fit wall time for both trainers."""
+    best = {"recursive": float("inf"), "frontier": float("inf")}
+    models = {}
+    for repeat in range(args.repeats):
+        # Alternate the order so neither trainer systematically benefits
+        # from a warm page cache / allocator.
+        order = ("recursive", "frontier") if repeat % 2 == 0 else ("frontier", "recursive")
+        for trainer in order:
+            seconds, model = _fit_once(train, trainer, args, n_jobs)
+            if seconds < best[trainer]:
+                best[trainer] = seconds
+            models[trainer] = model
+    return best, models
+
+
+def _bench_dataset(name: str, args) -> dict:
+    n_rows = args.n_rows or DATASETS[name].default_n_rows
+    data = load_dataset(name, n_rows=n_rows, seed=3)
+    train, test = train_test_split(data, test_fraction=0.2, seed=3)
+    print(
+        f"[{name}] fitting {args.n_trees} trees on {train.n_rows} rows "
+        f"(recursive vs frontier, {args.repeats} repeats) ..."
+    )
+
+    sequential, models = _best_fit_seconds(train, args, n_jobs=1)
+    labels = test.labels
+    accuracy = {
+        trainer: float((model.predict_batch(test) == labels).mean())
+        for trainer, model in models.items()
+    }
+
+    entry = {
+        "dataset": name,
+        "train_rows": train.n_rows,
+        "test_rows": test.n_rows,
+        "sequential": {
+            "recursive_trees_per_sec": args.n_trees / sequential["recursive"],
+            "frontier_trees_per_sec": args.n_trees / sequential["frontier"],
+            "speedup": sequential["recursive"] / sequential["frontier"],
+        },
+        "holdout_accuracy": accuracy,
+    }
+
+    if args.n_jobs > 1:
+        print(f"[{name}] pool path (n_jobs={args.n_jobs}) ...")
+        pooled, _ = _best_fit_seconds(train, args, n_jobs=args.n_jobs)
+        entry["pool"] = {
+            "n_jobs": args.n_jobs,
+            "recursive_trees_per_sec": args.n_trees / pooled["recursive"],
+            "frontier_trees_per_sec": args.n_trees / pooled["frontier"],
+            "speedup_vs_sequential": {
+                "recursive": sequential["recursive"] / pooled["recursive"],
+                "frontier": sequential["frontier"] / pooled["frontier"],
+            },
+        }
+
+    seq = entry["sequential"]
+    print(
+        f"[{name}] recursive {seq['recursive_trees_per_sec']:.2f} trees/s, "
+        f"frontier {seq['frontier_trees_per_sec']:.2f} trees/s "
+        f"-> {seq['speedup']:.2f}x "
+        f"(holdout acc {accuracy['recursive']:.3f} vs {accuracy['frontier']:.3f})"
+    )
+    return entry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=sorted(DATASETS),
+        default=["income", "credit"],
+        help="datasets to benchmark (default: income and the largest, credit)",
+    )
+    parser.add_argument(
+        "--n-rows",
+        type=int,
+        default=None,
+        help="row cap per dataset (default: each dataset's full registry size)",
+    )
+    parser.add_argument("--n-trees", type=int, default=4)
+    parser.add_argument("--epsilon", type=float, default=0.001)
+    parser.add_argument("--max-tries", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=2,
+        help="worker count for the pool measurement (<=1 skips it)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale run (2000 rows, 2 trees, 1 repeat); prints the "
+        "result but leaves BENCH_training.json untouched unless --output "
+        "is given explicitly",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.n_rows = args.n_rows or 2000
+        args.n_trees = 2
+        args.repeats = 1
+        args.datasets = args.datasets if args.datasets != ["income", "credit"] else ["income"]
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).parent.parent / "BENCH_training.json"
+
+    datasets = [_bench_dataset(name, args) for name in args.datasets]
+    largest = max(datasets, key=lambda entry: entry["train_rows"])
+
+    result = {
+        "benchmark": "frontier trainer throughput",
+        "config": {
+            "datasets": args.datasets,
+            "n_rows": args.n_rows,
+            "n_trees": args.n_trees,
+            "epsilon": args.epsilon,
+            "max_tries_per_split": args.max_tries,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "n_jobs": args.n_jobs,
+            "smoke": args.smoke,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "datasets": datasets,
+        "headline_speedup": largest["sequential"]["speedup"],
+        "headline_dataset": largest["dataset"],
+    }
+    if output is not None:
+        output.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if output is not None:
+        print(f"\nwrote {output}")
+    print(
+        f"headline: frontier trains "
+        f"{largest['sequential']['frontier_trees_per_sec']:.2f} trees/s vs "
+        f"recursive {largest['sequential']['recursive_trees_per_sec']:.2f} trees/s "
+        f"on {largest['dataset']} ({largest['train_rows']} rows) "
+        f"-> {result['headline_speedup']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Benchmark: frontier trainer vs recursive builder on a small fit.
+
+Guards the training-throughput win of the level-synchronous histogram
+trainer at smoke scale: a frontier fit must not regress to (or past) the
+recursive builder's wall time, and the two ensembles must agree on
+held-out accuracy. The full artefact with per-dataset trees/second lives
+in ``BENCH_training.json`` (``make bench-training``); the structural and
+distributional equivalence suite is ``tests/training/``.
+"""
+
+import time
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import load_dataset
+from repro.evaluation.splits import train_test_split
+
+
+def _fit_seconds(train, trainer: str, n_trees: int, seed: int) -> tuple[float, HedgeCutClassifier]:
+    model = HedgeCutClassifier(n_trees=n_trees, trainer=trainer, seed=seed)
+    start = time.perf_counter()
+    model.fit(train)
+    return time.perf_counter() - start, model
+
+
+def test_frontier_fit_beats_recursive(benchmark, record_table):
+    data = load_dataset("income", n_rows=2500, seed=11)
+    train, test = train_test_split(data, test_fraction=0.2, seed=11)
+    n_trees = 3
+
+    recursive_s, recursive = _fit_seconds(train, "recursive", n_trees, seed=11)
+
+    def fit_frontier():
+        return _fit_seconds(train, "frontier", n_trees, seed=11)
+
+    frontier_s, frontier = benchmark.pedantic(fit_frontier, rounds=2, iterations=1)
+
+    labels = test.labels
+    acc_rec = float((recursive.predict_batch(test) == labels).mean())
+    acc_fro = float((frontier.predict_batch(test) == labels).mean())
+    record_table(
+        "Frontier trainer (smoke)",
+        "\n".join(
+            [
+                f"{'trainer':<12} {'trees/s':>8} {'holdout acc':>12}",
+                f"{'recursive':<12} {n_trees / recursive_s:>8.2f} {acc_rec:>12.3f}",
+                f"{'frontier':<12} {n_trees / frontier_s:>8.2f} {acc_fro:>12.3f}",
+            ]
+        ),
+    )
+
+    # Both ensembles learn the same concept ...
+    assert abs(acc_rec - acc_fro) < 0.08
+    # ... and the frontier trainer keeps its throughput edge (generous
+    # headroom against timer noise; the real margin is ~1.5-2.5x).
+    assert frontier_s < 1.2 * recursive_s

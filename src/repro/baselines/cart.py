@@ -31,6 +31,11 @@ class DecisionTreeClassifier:
         max_depth: optional depth cap (``None`` grows until purity).
         max_features: per-node feature subsample ("sqrt" or ``None`` for
             all); the Random Forest baseline sets this to "sqrt".
+        trainer: growth strategy -- "recursive" (node-at-a-time reference)
+            or "frontier" (level-synchronous histogram growth, see
+            :func:`repro.training.baseline.grow_cart_tree`). Without
+            feature subsampling the two grow bit-identical trees; with
+            subsampling they match in distribution.
         seed: random generator seed (used only when subsampling features).
     """
 
@@ -40,6 +45,7 @@ class DecisionTreeClassifier:
         min_samples_leaf: int = 1,
         max_depth: int | None = None,
         max_features: str | None = None,
+        trainer: str = "recursive",
         seed: int | None = None,
     ) -> None:
         if min_samples_split < 2:
@@ -48,10 +54,13 @@ class DecisionTreeClassifier:
             raise ValueError("min_samples_leaf must be at least 1")
         if max_features not in (None, "sqrt"):
             raise ValueError(f"unsupported max_features {max_features!r}")
+        if trainer not in ("recursive", "frontier"):
+            raise ValueError(f"unsupported trainer {trainer!r}")
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_depth = max_depth
         self.max_features = max_features
+        self.trainer = trainer
         self.seed = seed
         self._root: BaselineNode | None = None
         self._n_values: tuple[int, ...] = ()
@@ -66,7 +75,7 @@ class DecisionTreeClassifier:
         self._n_values = tuple(feature.n_values for feature in dataset.schema)
         rng = np.random.default_rng(self.seed)
         rows = np.arange(dataset.n_rows, dtype=np.int64)
-        self._root = self._build(matrix, labels, rows, depth=0, rng=rng)
+        self._root = self._grow(matrix, labels, rows, rng)
         return self
 
     def fit_arrays(self, matrix: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
@@ -79,8 +88,32 @@ class DecisionTreeClassifier:
         )
         rng = np.random.default_rng(self.seed)
         rows = np.arange(matrix.shape[0], dtype=np.int64)
-        self._root = self._build(matrix, labels, rows, depth=0, rng=rng)
+        self._root = self._grow(matrix, labels, rows, rng)
         return self
+
+    def _grow(
+        self,
+        matrix: np.ndarray,
+        labels: np.ndarray,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+    ) -> BaselineNode:
+        if self.trainer == "frontier":
+            from repro.training.baseline import grow_cart_tree
+
+            columns = [np.ascontiguousarray(matrix[:, f]) for f in range(matrix.shape[1])]
+            return grow_cart_tree(
+                columns,
+                labels,
+                self._n_values,
+                rows,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_depth=self.max_depth,
+                max_features_sqrt=self.max_features == "sqrt",
+                rng=rng,
+            )
+        return self._build(matrix, labels, rows, depth=0, rng=rng)
 
     def _build(
         self,

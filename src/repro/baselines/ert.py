@@ -34,6 +34,11 @@ class ExtraTreesClassifier:
         min_samples_leaf: ``n_min`` stop threshold (paper: 2).
         n_candidates: candidate attributes per node; ``None`` selects
             ``sqrt(n_features)``.
+        trainer: growth strategy -- "recursive" (node-at-a-time reference)
+            or "frontier" (level-synchronous histogram growth, see
+            :func:`repro.training.baseline.grow_ert_tree`). The two match
+            in distribution (random draws are consumed breadth-first
+            instead of depth-first).
         seed: ensemble random seed.
     """
 
@@ -42,15 +47,19 @@ class ExtraTreesClassifier:
         n_estimators: int = 100,
         min_samples_leaf: int = 2,
         n_candidates: int | None = None,
+        trainer: str = "recursive",
         seed: int | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be positive")
         if min_samples_leaf < 1:
             raise ValueError("min_samples_leaf must be at least 1")
+        if trainer not in ("recursive", "frontier"):
+            raise ValueError(f"unsupported trainer {trainer!r}")
         self.n_estimators = n_estimators
         self.min_samples_leaf = min_samples_leaf
         self.n_candidates = n_candidates
+        self.trainer = trainer
         self.seed = seed
         self._trees: list[BaselineNode] = []
 
@@ -63,6 +72,26 @@ class ExtraTreesClassifier:
         labels = dataset.labels.astype(np.int64)
         rng = np.random.default_rng(self.seed)
         rows = np.arange(dataset.n_rows, dtype=np.int64)
+        if self.trainer == "frontier":
+            from repro.training.baseline import grow_ert_tree
+
+            n_values = tuple(feature.n_values for feature in dataset.schema)
+            columns = [
+                np.ascontiguousarray(matrix[:, f]) for f in range(matrix.shape[1])
+            ]
+            self._trees = [
+                grow_ert_tree(
+                    columns,
+                    labels,
+                    n_values,
+                    rows,
+                    min_samples_leaf=self.min_samples_leaf,
+                    n_candidates=self.n_candidates,
+                    rng=tree_rng,
+                )
+                for tree_rng in rng.spawn(self.n_estimators)
+            ]
+            return self
         self._trees = [
             self._build(matrix, labels, rows, tree_rng)
             for tree_rng in rng.spawn(self.n_estimators)

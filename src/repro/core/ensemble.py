@@ -25,9 +25,10 @@ from repro.core.exceptions import (
 from repro.core.nodes import Leaf, MaintenanceNode, NodeCensus, SplitNode, census
 from repro.core.packed import PackedEnsemble
 from repro.core.params import HedgeCutParams
-from repro.core.tree import HedgeCutTree, TreeBuilder
+from repro.core.tree import HedgeCutTree
 from repro.core.unlearning import UnlearningReport, unlearn_from_tree
 from repro.dataprep.dataset import Dataset, FeatureSchema, Record
+from repro.training import build_tree
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,9 @@ class HedgeCutClassifier:
             ``sqrt(n_features)``.
         robustness_mode: "greedy" / "verified" / "off", see
             :class:`HedgeCutParams`.
+        trainer: tree-growth strategy, "recursive" (node-at-a-time
+            reference) or "frontier" (level-synchronous histogram
+            trainer), see :class:`HedgeCutParams`.
         max_maintenance_depth: cap on nested maintenance nodes per path,
             see :class:`HedgeCutParams`.
         seed: ensemble random seed.
@@ -101,6 +105,7 @@ class HedgeCutClassifier:
         min_leaf_size: int = 2,
         n_candidates: int | None = None,
         robustness_mode: str = "greedy",
+        trainer: str = "recursive",
         max_maintenance_depth: int | None = 1,
         n_jobs: int = 1,
         seed: int | None = None,
@@ -112,6 +117,7 @@ class HedgeCutClassifier:
             min_leaf_size=min_leaf_size,
             n_candidates=n_candidates,
             robustness_mode=robustness_mode,
+            trainer=trainer,
             max_maintenance_depth=max_maintenance_depth,
             n_jobs=n_jobs,
             seed=seed,
@@ -146,20 +152,26 @@ class HedgeCutClassifier:
         if self.params.n_jobs > 1:
             # Trees are fully independent (Section 5); build them in a
             # process pool. Each worker receives its own copy of the data
-            # (the paper trains "in parallel on copies of the input data").
+            # (the paper trains "in parallel on copies of the input data"),
+            # shipped ONCE per worker through the pool initializer instead
+            # of once per tree through the job pickles, and the per-tree
+            # jobs shrink to the spawned generators. Chunking amortises the
+            # remaining per-job IPC over several tree builds.
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=self.params.n_jobs) as pool:
+            n_jobs = min(self.params.n_jobs, len(tree_rngs))
+            chunksize = -(-len(tree_rngs) // (n_jobs * 2))
+            with ProcessPoolExecutor(
+                max_workers=n_jobs,
+                initializer=_pool_initializer,
+                initargs=(dataset, self.params),
+            ) as pool:
                 self._trees = list(
-                    pool.map(
-                        _build_one_tree,
-                        ((dataset, self.params, tree_rng) for tree_rng in tree_rngs),
-                    )
+                    pool.map(_pool_build_tree, tree_rngs, chunksize=chunksize)
                 )
         else:
             self._trees = [
-                TreeBuilder(dataset, self.params, tree_rng).build()
-                for tree_rng in tree_rngs
+                build_tree(dataset, self.params, tree_rng) for tree_rng in tree_rngs
             ]
         self._compiled = [None] * len(self._trees)
         self._packed = None
@@ -434,6 +446,7 @@ class HedgeCutClassifier:
             min_leaf_size=params.min_leaf_size,
             n_candidates=params.n_candidates,
             robustness_mode=params.robustness_mode,
+            trainer=params.trainer,
             max_maintenance_depth=params.max_maintenance_depth,
             n_jobs=params.n_jobs,
             seed=params.seed,
@@ -512,9 +525,19 @@ def _insert_into_stats(stats, record: Record, goes_left: bool) -> None:
         stats.n_left += 1
         if record.label == 1:
             stats.n_left_plus += 1
+    stats.invalidate_caches()
 
 
-def _build_one_tree(job: tuple) -> HedgeCutTree:
-    """Process-pool entry point: build one tree from a (data, params, rng) job."""
-    dataset, params, rng = job
-    return TreeBuilder(dataset, params, rng).build()
+#: Per-worker training state installed by :func:`_pool_initializer`.
+_POOL_STATE: dict = {}
+
+
+def _pool_initializer(dataset: Dataset, params: HedgeCutParams) -> None:
+    """Stash the shared training inputs in the worker process, once."""
+    _POOL_STATE["dataset"] = dataset
+    _POOL_STATE["params"] = params
+
+
+def _pool_build_tree(rng: np.random.Generator) -> HedgeCutTree:
+    """Process-pool entry point: build one tree from the shared state."""
+    return build_tree(_POOL_STATE["dataset"], _POOL_STATE["params"], rng)

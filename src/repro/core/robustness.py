@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 
-from repro.core.splits import SplitStats
+import numpy as np
+
+from repro.core.splits import SplitStats, _gini_impurity_arrays, gini_gain_arrays
 
 #: The eight removal configurations of Algorithm 2: the removed record's
 #: label, its side under the best split ``s*`` and its side under the
@@ -199,6 +201,493 @@ def is_robust_beam(
     return RobustnessResult(robust=True, removals_tested=r)
 
 
+def _per_removal_bound_arrays(
+    n: np.ndarray, n_left: np.ndarray, budgets: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`_per_removal_bound` over count arrays."""
+    n = np.asarray(n, dtype=np.float64)
+    n_left = np.asarray(n_left, dtype=np.float64)
+    budgets = np.asarray(budgets, dtype=np.float64)
+    n_floor = n - budgets
+    side_floor = np.minimum(n_left, n - n_left) - budgets
+    emptyable = (n_floor <= 1) | (side_floor <= 1)
+    safe_n = np.where(emptyable, 3.0, n_floor)
+    safe_side = np.where(emptyable, 3.0, side_floor)
+    bound = 3.0 / (safe_n - 1.0) + 2.0 / (safe_side - 1.0)
+    return np.where(emptyable, np.inf, bound)
+
+
+def prescreen_robust_pairs(
+    best_counts: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    candidate_counts: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    budgets: np.ndarray,
+) -> np.ndarray:
+    """Vectorised robustness pre-screen over many ``(best, candidate)`` pairs.
+
+    This is the prune short-cut of :func:`is_robust` lifted to whole-level
+    batches: a pair whose initial gain gap provably cannot be closed by
+    ``budget`` removals is robust without running the greedy weakening
+    loop. The frontier trainer screens every pair of a tree level in one
+    call and falls back to the scalar tests only for the shortlist of
+    near-ties this bound cannot decide.
+
+    Args:
+        best_counts: ``(n, n_plus, n_left, n_left_plus)`` arrays of the
+            winning splits, one entry per pair.
+        candidate_counts: the same quadruple for the competitors.
+        budgets: per-pair deletion budgets (non-negative).
+
+    Returns:
+        Boolean array: ``True`` where the pair is provably robust (the
+        scalar :func:`is_robust` would return robust via the same bound);
+        ``False`` means undecided, not non-robust.
+    """
+    best_n, best_plus, best_left, best_left_plus = best_counts
+    cand_n, cand_plus, cand_left, cand_left_plus = candidate_counts
+    budgets = np.asarray(budgets)
+    gap = gini_gain_arrays(best_n, best_plus, best_left, best_left_plus) - (
+        gini_gain_arrays(cand_n, cand_plus, cand_left, cand_left_plus)
+    )
+    with np.errstate(invalid="ignore"):
+        # A zero budget times an infinite bound is NaN; the comparison below
+        # is then False (undecided), which is the safe direction.
+        worst_change = budgets * (
+            _per_removal_bound_arrays(best_n, best_left, budgets)
+            + _per_removal_bound_arrays(cand_n, cand_left, budgets)
+        )
+        return gap > worst_change
+
+
+#: The eight removal configurations as parallel 0/1 vectors (label,
+#: best-split side, candidate-split side), in ``REMOVAL_CONFIGS`` order so
+#: that the batched argmin ties break exactly like the scalar loop.
+_CONFIG_POSITIVE = np.asarray([c[0] for c in REMOVAL_CONFIGS], dtype=np.int64)
+_CONFIG_BEST_LEFT = np.asarray([c[1] for c in REMOVAL_CONFIGS], dtype=np.int64)
+_CONFIG_CAND_LEFT = np.asarray([c[2] for c in REMOVAL_CONFIGS], dtype=np.int64)
+
+#: Which quadrant -- in ``(left+, right+, left-, right-)`` order -- each
+#: removal configuration drains on the best split and on the candidate
+#: split. Lets the applicability test index two precomputed quadrant
+#: matrices instead of recombining counts per configuration.
+_QUADRANT_OF_BEST = np.asarray(
+    [(1 - c[0]) * 2 + (1 - c[1]) for c in REMOVAL_CONFIGS], dtype=np.int64
+)
+_QUADRANT_OF_CAND = np.asarray(
+    [(1 - c[0]) * 2 + (1 - c[2]) for c in REMOVAL_CONFIGS], dtype=np.int64
+)
+
+
+def _pair_gain_delta(
+    n: np.ndarray,
+    n_plus: np.ndarray,
+    best_left: np.ndarray,
+    best_left_plus: np.ndarray,
+    cand_left: np.ndarray,
+    cand_left_plus: np.ndarray,
+) -> np.ndarray:
+    """``gini_gain(best) - gini_gain(candidate)`` for pairs sharing ``(n, n_plus)``.
+
+    Bit-for-bit equal to ``gini_gain_arrays(n, n_plus, best_left,
+    best_left_plus) - gini_gain_arrays(..., cand_left, cand_left_plus)``:
+    the parent impurity term is shared between the two gains, so it is
+    computed once, and every remaining operation keeps the scalar
+    :meth:`~repro.core.splits.SplitStats.gini_gain` order.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    n_plus = np.asarray(n_plus, dtype=np.float64)
+    before = _gini_impurity_arrays(n, n_plus)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        safe_n = np.maximum(n, 1)
+        positive = n > 0
+
+        def after(left: np.ndarray, left_plus: np.ndarray) -> np.ndarray:
+            left = np.asarray(left, dtype=np.float64)
+            left_plus = np.asarray(left_plus, dtype=np.float64)
+            right = n - left
+            right_plus = n_plus - left_plus
+            w_left = np.where(positive, left / safe_n, 0.0)
+            w_right = np.where(positive, right / safe_n, 0.0)
+            return w_left * _gini_impurity_arrays(left, left_plus) + (
+                w_right * _gini_impurity_arrays(right, right_plus)
+            )
+
+        best_after = after(best_left, best_left_plus)
+        cand_after = after(cand_left, cand_left_plus)
+    return np.where(positive, (before - best_after) - (before - cand_after), 0.0)
+
+
+#: The four ``(pos, d)`` decrement variants a single split side can see
+#: across the eight removal configurations: the side loses ``d`` records,
+#: ``pos * d`` of them positive, while the node loses one record that is
+#: positive iff ``pos``. Variant order is ``pos * 2 + d``.
+_VARIANT_POS = np.asarray([0, 0, 1, 1], dtype=np.int64)
+_VARIANT_D = np.asarray([0, 1, 0, 1], dtype=np.int64)
+_VARIANT_PD = _VARIANT_POS * _VARIANT_D
+#: Per removal configuration: which variant applies to the best split's
+#: side and to the candidate split's side.
+_BEST_VARIANT = _CONFIG_POSITIVE * 2 + _CONFIG_BEST_LEFT
+_CAND_VARIANT = _CONFIG_POSITIVE * 2 + _CONFIG_CAND_LEFT
+
+
+def _pair_gain_delta_configs(
+    nm1: np.ndarray,
+    plus_j: np.ndarray,
+    bl_j: np.ndarray,
+    blp_j: np.ndarray,
+    cl_j: np.ndarray,
+    clp_j: np.ndarray,
+) -> np.ndarray:
+    """``_pair_gain_delta`` for all eight removal configurations at once.
+
+    Input arrays hold the pair state *before* the removal (any common
+    shape); ``nm1`` is the node size already minus the removed record.
+    The result appends a trailing axis of length 8 with the gain gap
+    after each configuration of ``REMOVAL_CONFIGS``. A configuration
+    ``(pos, bl, cl)`` only enters the arithmetic through three 0/1
+    decrements, so each side's weighted impurity has just four distinct
+    variants -- those families are evaluated on a stacked leading axis
+    and gathered into the eight-configuration tensor. Every element goes
+    through the same float operations in the same order as
+    ``_pair_gain_delta``, so the tensors are bit-for-bit equal.
+    """
+    tail = (1,) * nm1.ndim
+    pos2 = np.arange(2, dtype=np.int64).reshape((2,) + tail)
+    pos4 = _VARIANT_POS.reshape((4,) + tail)
+    d4 = _VARIANT_D.reshape((4,) + tail)
+    pd4 = _VARIANT_PD.reshape((4,) + tail)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        positive = nm1 > 0
+        safe_n = np.maximum(nm1, 1)
+        n_plus_v = plus_j[None] - pos2
+        p = np.where(positive, n_plus_v / safe_n, 0.0)
+        before = 2.0 * p * (1.0 - p)
+        plus_v = plus_j[None] - pos4
+
+        def side_gains(left_j: np.ndarray, left_plus_j: np.ndarray) -> np.ndarray:
+            left = left_j[None] - d4
+            left_plus = left_plus_j[None] - pd4
+            right = nm1[None] - left
+            right_plus = plus_v - left_plus
+            w_left = np.where(positive, left / safe_n, 0.0)
+            w_right = np.where(positive, right / safe_n, 0.0)
+            after = w_left * _gini_impurity_arrays(left, left_plus) + (
+                w_right * _gini_impurity_arrays(right, right_plus)
+            )
+            return before[_VARIANT_POS] - after
+
+        gain_best = side_gains(bl_j, blp_j)
+        gain_cand = side_gains(cl_j, clp_j)
+    delta = gain_best[_BEST_VARIANT] - gain_cand[_CAND_VARIANT]
+    return np.where(positive[..., None], np.moveaxis(delta, 0, -1), 0.0)
+
+
+def greedy_weaken_batch_stepwise(
+    n: np.ndarray,
+    n_plus: np.ndarray,
+    best_left: np.ndarray,
+    best_left_plus: np.ndarray,
+    cand_left: np.ndarray,
+    cand_left_plus: np.ndarray,
+    budgets: np.ndarray,
+    prune: bool = True,
+) -> np.ndarray:
+    """Algorithm 2's greedy weakening loop over a batch of pairs at once.
+
+    Each entry describes a ``(best, candidate)`` pair of splits *of the
+    same node* (they share ``n`` and ``n_plus``). The loop mirrors
+    :func:`is_robust` without its entry prune short-cut (run
+    :func:`prescreen_robust_pairs` first): per step all eight removal
+    configurations are scored in one vectorised Gini evaluation, the
+    per-pair argmin picks the same configuration the scalar
+    :func:`weaken_split` would (same float operation order, first-config
+    tie-breaking), pairs whose gap turns negative are marked non-robust,
+    and pairs with no applicable configuration or an exhausted budget
+    retire as robust.
+
+    With ``prune`` (default) a pair also retires as robust mid-loop once
+    its current gap provably cannot be closed by its *remaining* budget
+    (the :func:`_per_removal_bound` argument applied to the weakened
+    counts) -- the greedy trajectory from such a state can never reverse,
+    so the verdict is unchanged, only cheaper. Verdicts are
+    element-for-element identical to calling ``is_robust(..., prune=False)``
+    per pair.
+
+    Returns a boolean array, ``True`` where the pair is robust.
+    """
+    n = np.asarray(n, dtype=np.int64).copy()
+    n_plus = np.asarray(n_plus, dtype=np.int64).copy()
+    best_left = np.asarray(best_left, dtype=np.int64).copy()
+    best_left_plus = np.asarray(best_left_plus, dtype=np.int64).copy()
+    cand_left = np.asarray(cand_left, dtype=np.int64).copy()
+    cand_left_plus = np.asarray(cand_left_plus, dtype=np.int64).copy()
+    budgets = np.asarray(budgets, dtype=np.int64)
+
+    robust = np.ones(n.shape[0], dtype=bool)
+    active = np.flatnonzero(budgets > 0)
+    positive = _CONFIG_POSITIVE[None, :]
+    b_left = _CONFIG_BEST_LEFT[None, :]
+    c_left = _CONFIG_CAND_LEFT[None, :]
+    step = 0
+    while active.size:
+        step += 1
+        a_n, a_plus = n[active], n_plus[active]
+        a_bl, a_blp = best_left[active], best_left_plus[active]
+        a_cl, a_clp = cand_left[active], cand_left_plus[active]
+
+        minus = a_n - a_plus
+        quad_best = np.stack(
+            [a_blp, a_plus - a_blp, a_bl - a_blp, minus - (a_bl - a_blp)], axis=1
+        )
+        quad_cand = np.stack(
+            [a_clp, a_plus - a_clp, a_cl - a_clp, minus - (a_cl - a_clp)], axis=1
+        )
+        applicable = (quad_best[:, _QUADRANT_OF_BEST] > 0) & (
+            quad_cand[:, _QUADRANT_OF_CAND] > 0
+        )
+
+        w_n = a_n[:, None] - 1
+        w_plus = a_plus[:, None] - positive
+        delta = _pair_gain_delta(
+            w_n,
+            w_plus,
+            a_bl[:, None] - b_left,
+            a_blp[:, None] - positive * b_left,
+            a_cl[:, None] - c_left,
+            a_clp[:, None] - positive * c_left,
+        )
+        masked = np.where(applicable, delta, np.inf)
+        choice = np.argmin(masked, axis=1)
+        chosen_delta = masked[np.arange(active.size), choice]
+        any_applicable = applicable.any(axis=1)
+
+        reversed_now = any_applicable & (chosen_delta < 0.0)
+        robust[active[reversed_now]] = False
+        # Continue pairs that removed a record without reversing and still
+        # have budget; the rest retire (dead ends and exhausted budgets are
+        # robust, reversals were just marked).
+        proceed = any_applicable & ~reversed_now
+        idx = active[proceed]
+        ch = choice[proceed]
+        n[idx] -= 1
+        n_plus[idx] -= _CONFIG_POSITIVE[ch]
+        best_left[idx] -= _CONFIG_BEST_LEFT[ch]
+        best_left_plus[idx] -= _CONFIG_POSITIVE[ch] * _CONFIG_BEST_LEFT[ch]
+        cand_left[idx] -= _CONFIG_CAND_LEFT[ch]
+        cand_left_plus[idx] -= _CONFIG_CAND_LEFT[ch] * _CONFIG_POSITIVE[ch]
+        remaining = budgets[idx] - step
+        alive = remaining > 0
+        if prune and idx.size:
+            gap = chosen_delta[proceed]
+            with np.errstate(invalid="ignore"):
+                # An exhausted budget times an infinite bound is NaN; the
+                # comparison is then False and the entry is already dead.
+                worst = remaining * (
+                    _per_removal_bound_arrays(n[idx], best_left[idx], remaining)
+                    + _per_removal_bound_arrays(n[idx], cand_left[idx], remaining)
+                )
+                # Pairs whose weakened gap already exceeds what the
+                # remaining removals can change retire robust (their
+                # default verdict).
+                alive &= ~(gap > worst)
+        active = idx[alive]
+    return robust
+
+
+#: Window length (in removals) evaluated per run-length round of
+#: :func:`greedy_weaken_batch`. Purely a speed knob -- any value yields
+#: identical verdicts.
+_WEAKEN_WINDOW = 48
+
+
+def greedy_weaken_batch(
+    n: np.ndarray,
+    n_plus: np.ndarray,
+    best_left: np.ndarray,
+    best_left_plus: np.ndarray,
+    cand_left: np.ndarray,
+    cand_left_plus: np.ndarray,
+    budgets: np.ndarray,
+    prune: bool = True,
+) -> np.ndarray:
+    """Run-length accelerated :func:`greedy_weaken_batch_stepwise`.
+
+    The greedy trajectory of Algorithm 2 tends to repeat the same removal
+    configuration for long stretches (the gain curves it races are smooth
+    in the counts). Instead of one lockstep numpy pass per removal, each
+    round here evaluates, for every active pair, the *entire remaining
+    trajectory under the assumption that the current greedy choice
+    repeats*: the weakened counts after ``j`` repeats are closed-form
+    (``counts - j * config``), so the per-step deltas, applicability
+    masks, greedy choices and prune bounds of all future steps form one
+    ``(pairs, horizon, 8)`` tensor. Each pair then jumps to its first
+    *event* -- a reversal (non-robust), a budget/prune retirement
+    (robust), or a deviation where the greedy argmin switches
+    configuration, in which case the pair re-enters the next round from
+    the advanced state.
+
+    Every element of the tensor is produced by the same elementwise float
+    operations, in the same order, as the stepwise loop evaluates at the
+    corresponding state, and ties in the per-step argmin break on the
+    same first-configuration rule, so the verdicts are bit-for-bit
+    identical to :func:`greedy_weaken_batch_stepwise` -- only the number
+    of numpy dispatches changes (one per configuration *switch* rather
+    than one per removal).
+    """
+    n = np.asarray(n, dtype=np.int64).copy()
+    n_plus = np.asarray(n_plus, dtype=np.int64).copy()
+    best_left = np.asarray(best_left, dtype=np.int64).copy()
+    best_left_plus = np.asarray(best_left_plus, dtype=np.int64).copy()
+    cand_left = np.asarray(cand_left, dtype=np.int64).copy()
+    cand_left_plus = np.asarray(cand_left_plus, dtype=np.int64).copy()
+    remaining = np.asarray(budgets, dtype=np.int64).copy()
+
+    robust = np.ones(n.shape[0], dtype=bool)
+    active = np.flatnonzero(remaining > 0)
+    # The masked step-0 gain gaps of the active pairs. Rounds after the
+    # first splice these out of the previous round's trajectory tensor
+    # (the deviated state was already evaluated there, bit-for-bit);
+    # only pairs whose run filled the whole window re-evaluate.
+    masked0 = np.empty((active.size, 8))
+    stale = np.ones(active.size, dtype=bool)
+
+    while active.size:
+        a_n, a_plus = n[active], n_plus[active]
+        a_bl, a_blp = best_left[active], best_left_plus[active]
+        a_cl, a_clp = cand_left[active], cand_left_plus[active]
+        a_rem = remaining[active]
+
+        minus = a_n - a_plus
+        quad_best = np.stack(
+            [a_blp, a_plus - a_blp, a_bl - a_blp, minus - (a_bl - a_blp)], axis=1
+        )
+        quad_cand = np.stack(
+            [a_clp, a_plus - a_clp, a_cl - a_clp, minus - (a_cl - a_clp)], axis=1
+        )
+        applicable0 = (quad_best[:, _QUADRANT_OF_BEST] > 0) & (
+            quad_cand[:, _QUADRANT_OF_CAND] > 0
+        )
+        fresh = np.flatnonzero(stale)
+        if fresh.size:
+            delta0 = _pair_gain_delta_configs(
+                a_n[fresh] - 1, a_plus[fresh], a_bl[fresh], a_blp[fresh],
+                a_cl[fresh], a_clp[fresh],
+            )
+            masked0[fresh] = np.where(applicable0[fresh], delta0, np.inf)
+        config = np.argmin(masked0, axis=1)
+
+        # Pairs with no applicable removal retire robust without a step.
+        dead_end = ~applicable0.any(axis=1)
+
+        # Trajectory tensors for steps j = 0..W-1 under a repeated config:
+        # the state before step j is counts - j * config, so choices and
+        # gaps of the whole window come from one batched evaluation. The
+        # window is capped: a run that fills it simply advances the full
+        # window and re-enters the next round (greedy switches configs
+        # every handful of steps in practice, so longer windows mostly
+        # evaluate states that are never reached).
+        horizon = min(int(a_rem.max()), _WEAKEN_WINDOW)
+        j = np.arange(horizon, dtype=np.int64)[None, :]
+        in_window = j < a_rem[:, None]
+
+        pos_c = _CONFIG_POSITIVE[config][:, None]
+        bl_c = _CONFIG_BEST_LEFT[config][:, None]
+        cl_c = _CONFIG_CAND_LEFT[config][:, None]
+        n_j = a_n[:, None] - j
+        plus_j = a_plus[:, None] - j * pos_c
+        bl_j = a_bl[:, None] - j * bl_c
+        blp_j = a_blp[:, None] - j * (pos_c * bl_c)
+        cl_j = a_cl[:, None] - j * cl_c
+        clp_j = a_clp[:, None] - j * (pos_c * cl_c)
+
+        # Applicability along the trajectory: the repeated config drains
+        # one quadrant of each split per step, so the quadrant count each
+        # configuration tests falls linearly in j (or stays put).
+        drain_best = (
+            _QUADRANT_OF_BEST[None, :] == _QUADRANT_OF_BEST[config][:, None]
+        ).astype(np.int64)
+        drain_cand = (
+            _QUADRANT_OF_CAND[None, :] == _QUADRANT_OF_CAND[config][:, None]
+        ).astype(np.int64)
+        app = (
+            quad_best[:, _QUADRANT_OF_BEST][:, None, :]
+            - j[:, :, None] * drain_best[:, None, :]
+            > 0
+        ) & (
+            quad_cand[:, _QUADRANT_OF_CAND][:, None, :]
+            - j[:, :, None] * drain_cand[:, None, :]
+            > 0
+        )
+        delta = _pair_gain_delta_configs(n_j - 1, plus_j, bl_j, blp_j, cl_j, clp_j)
+        masked = np.where(app, delta, np.inf)
+        choice = np.argmin(masked, axis=2)
+        chosen = np.take_along_axis(masked, choice[:, :, None], axis=2)[:, :, 0]
+        any_app = app.any(axis=2)
+
+        # Deviation: the greedy argmin leaves the assumed config (or hits a
+        # dead end) at step j >= 1; the run stops short and the pair
+        # re-enters the next round from the advanced state. Positions past
+        # the pair's remaining budget also end the run.
+        deviate = (choice != config[:, None]) | ~any_app | ~in_window
+        deviate[:, 0] = False
+        has_dev = deviate.any(axis=1)
+        j_dev = np.where(has_dev, np.argmax(deviate, axis=1), horizon)
+
+        run = j < j_dev[:, None]
+        # Reversal: the weakened gap turns negative at an applied step.
+        rev = run & (chosen < 0.0)
+        has_rev = rev.any(axis=1)
+        j_rev = np.where(has_rev, np.argmax(rev, axis=1), horizon + 1)
+
+        # Robust retirement at an applied step: budget exhausted after it,
+        # or (optionally) the remaining budget provably cannot close the
+        # weakened gap from the post-step state.
+        rem_j = a_rem[:, None] - (j + 1)
+        retire = run & ~rev & (rem_j == 0)
+        if prune:
+            with np.errstate(invalid="ignore"):
+                # An exhausted budget times an infinite bound is NaN; the
+                # comparison is then False and the entry already retired.
+                worst = rem_j * (
+                    _per_removal_bound_arrays(n_j - 1, bl_j - bl_c, rem_j)
+                    + _per_removal_bound_arrays(n_j - 1, cl_j - cl_c, rem_j)
+                )
+                retire |= run & ~rev & (chosen > worst)
+        has_ret = retire.any(axis=1)
+        j_ret = np.where(has_ret, np.argmax(retire, axis=1), horizon + 1)
+
+        reversed_first = has_rev & (j_rev < j_ret)
+        robust[active[dead_end]] = True  # explicit: default verdict
+        robust[active[~dead_end & reversed_first]] = False
+
+        # Pairs with no terminal event advance j_dev steps and stay active.
+        advance = ~dead_end & ~reversed_first & ~(has_ret & (j_ret < j_rev))
+        cont = np.flatnonzero(advance & (j_dev < a_rem))
+        if cont.size:
+            steps = j_dev[cont]
+            idx = active[cont]
+            n[idx] -= steps
+            n_plus[idx] -= steps * _CONFIG_POSITIVE[config[cont]]
+            best_left[idx] -= steps * _CONFIG_BEST_LEFT[config[cont]]
+            best_left_plus[idx] -= steps * (
+                _CONFIG_POSITIVE[config[cont]] * _CONFIG_BEST_LEFT[config[cont]]
+            )
+            cand_left[idx] -= steps * _CONFIG_CAND_LEFT[config[cont]]
+            cand_left_plus[idx] -= steps * (
+                _CONFIG_CAND_LEFT[config[cont]] * _CONFIG_POSITIVE[config[cont]]
+            )
+            remaining[idx] -= steps
+            active = idx
+            # A deviated pair's next step-0 state is the state at j_dev,
+            # which the trajectory already evaluated -- splice it out.
+            # Runs that filled the window (j_dev == horizon, no deviation
+            # inside it) were not evaluated there and recompute fresh.
+            stale = steps >= horizon
+            masked0 = masked[cont, np.minimum(steps, horizon - 1)]
+        else:
+            active = np.empty(0, dtype=np.int64)
+    return robust
+
+
 def greedy_precondition_holds(best: SplitStats, r: int) -> bool:
     """Whether the greedy verdict for this split can be trusted.
 
@@ -231,6 +720,7 @@ def enumerate_is_robust(best: SplitStats, candidate: SplitStats, r: int) -> bool
         updated.n_plus -= removed[True][True] + removed[True][False]
         updated.n_left -= removed[True][True] + removed[False][True]
         updated.n_left_plus -= removed[True][True]
+        updated.invalidate_caches()
         quadrants_ok = (
             updated.n_left_plus >= 0
             and updated.n_left_minus >= 0

@@ -35,6 +35,42 @@ def gini_impurity(n: int, n_plus: int) -> float:
     return 2.0 * p * (1.0 - p)
 
 
+def _gini_impurity_arrays(n: np.ndarray, n_plus: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`gini_impurity` with the same operation order."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(n > 0, n_plus / np.maximum(n, 1), 0.0)
+    return 2.0 * p * (1.0 - p)
+
+
+def gini_gain_arrays(
+    n: np.ndarray,
+    n_plus: np.ndarray,
+    n_left: np.ndarray,
+    n_left_plus: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :meth:`SplitStats.gini_gain` over count arrays.
+
+    The frontier trainer scores every candidate of a whole tree level in
+    one call. Operations are ordered exactly as in the scalar method, so
+    each element is bit-for-bit the value ``SplitStats(...).gini_gain()``
+    would produce for the same counts.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    n_plus = np.asarray(n_plus, dtype=np.float64)
+    n_left = np.asarray(n_left, dtype=np.float64)
+    n_left_plus = np.asarray(n_left_plus, dtype=np.float64)
+    n_right = n - n_left
+    n_right_plus = n_plus - n_left_plus
+    before = _gini_impurity_arrays(n, n_plus)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w_left = np.where(n > 0, n_left / np.maximum(n, 1), 0.0)
+        w_right = np.where(n > 0, n_right / np.maximum(n, 1), 0.0)
+    after = w_left * _gini_impurity_arrays(n_left, n_left_plus) + (
+        w_right * _gini_impurity_arrays(n_right, n_right_plus)
+    )
+    return np.where(n > 0, before - after, 0.0)
+
+
 @dataclass
 class SplitStats:
     """Mutable label counts of a split, updated during unlearning.
@@ -42,12 +78,35 @@ class SplitStats:
     Invariants (checked by :meth:`validate`): all derived quadrant counts
     ``n_left_plus``, ``n_left_minus``, ``n_right_plus``, ``n_right_minus``
     are non-negative.
+
+    The Gini gain and the quadrant tuple are cached *keyed by the four
+    counts*: maintenance-heavy unlearning re-scores every variant of every
+    visited maintenance node per deletion, and most variants' statistics
+    are unchanged since the last re-score. A cached value is only returned
+    while the counts still equal the key it was computed under, so any
+    mutation — :meth:`remove` or direct field assignment — transparently
+    forces a recompute. (A ``__setattr__`` hook would invalidate eagerly
+    instead, but it taxes every write and the robustness weakening loop
+    creates and mutates millions of these objects; measured, it slows
+    recursive tree growth ~2.5x.)
     """
 
     n: int
     n_plus: int
     n_left: int
     n_left_plus: int
+
+    # Class-level cache defaults keep instances restored from old pickles
+    # (which bypass __init__) working: a missing instance attribute falls
+    # back to "not cached".
+    _gain_key = None
+    _gain_cache = 0.0
+    _quadrants_cache = None
+
+    def invalidate_caches(self) -> None:
+        """Drop cached derived values (count keys already guard staleness)."""
+        self._gain_key = None
+        self._quadrants_cache = None
 
     # ------------------------------------------------------------------ #
     # derived counts
@@ -74,13 +133,23 @@ class SplitStats:
         return self.n_right - self.n_right_plus
 
     def quadrants(self) -> tuple[int, int, int, int]:
-        """``(left+, left-, right+, right-)`` label counts."""
-        return (
-            self.n_left_plus,
-            self.n_left_minus,
-            self.n_right_plus,
-            self.n_right_minus,
-        )
+        """``(left+, left-, right+, right-)`` label counts (cached)."""
+        left_plus = self.n_left_plus
+        left_minus = self.n_left - left_plus
+        right_plus = self.n_plus - left_plus
+        right_minus = self.n - self.n_left - right_plus
+        cached = self._quadrants_cache
+        if (
+            cached is not None
+            and cached[0] == left_plus
+            and cached[1] == left_minus
+            and cached[2] == right_plus
+            and cached[3] == right_minus
+        ):
+            return cached
+        cached = (left_plus, left_minus, right_plus, right_minus)
+        self._quadrants_cache = cached
+        return cached
 
     def min_quadrant(self) -> int:
         """Smallest of the four quadrant counts (greedy precondition)."""
@@ -109,16 +178,29 @@ class SplitStats:
     # ------------------------------------------------------------------ #
 
     def gini_gain(self) -> float:
-        """Reduction in Gini impurity achieved by the split (Section 3)."""
+        """Reduction in Gini impurity achieved by the split (Section 3).
+
+        Cached keyed by the four counts; ``rescore()`` during
+        maintenance-heavy unlearning recomputes gains per variant per
+        deletion, and the cache turns re-scores of untouched statistics
+        into a four-int comparison.
+        """
+        key = (self.n, self.n_plus, self.n_left, self.n_left_plus)
+        if key == self._gain_key:
+            return self._gain_cache
         if self.n <= 0:
-            return 0.0
-        before = gini_impurity(self.n, self.n_plus)
-        w_left = self.n_left / self.n
-        w_right = self.n_right / self.n
-        after = w_left * gini_impurity(self.n_left, self.n_left_plus) + (
-            w_right * gini_impurity(self.n_right, self.n_right_plus)
-        )
-        return before - after
+            value = 0.0
+        else:
+            before = gini_impurity(self.n, self.n_plus)
+            w_left = self.n_left / self.n
+            w_right = self.n_right / self.n
+            after = w_left * gini_impurity(self.n_left, self.n_left_plus) + (
+                w_right * gini_impurity(self.n_right, self.n_right_plus)
+            )
+            value = before - after
+        self._gain_cache = value
+        self._gain_key = key
+        return value
 
     @property
     def splits_data(self) -> bool:

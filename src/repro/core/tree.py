@@ -30,6 +30,7 @@ these corners implicit; see also DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -128,6 +129,57 @@ def _random_split(feature: int, dataset, rng: np.random.Generator) -> Split | No
             bits = rng.random(n_values) < 0.5
             mask = sum(1 << code for code in np.flatnonzero(bits))
     return CategoricalSplit(feature=feature, subset_mask=mask, cardinality=n_values)
+
+
+def judge_best(
+    best: CandidateSplit,
+    candidates: list[CandidateSplit],
+    best_index: int,
+    node_budget: int,
+    robustness_mode: str,
+    prescreened_robust: Sequence[bool] | None = None,
+) -> tuple[str, list[CandidateSplit]]:
+    """Robustness verdict for a trial winner, plus its threats.
+
+    Returns ``("robust", [])``, ``("non_robust", threats)`` where
+    ``threats`` are the candidates able to overtake the winner within
+    the budget, or ``("rejected", [])`` -- the "verified" mode's re-draw
+    request for untrusted greedy verdicts it cannot afford to confirm by
+    enumeration.
+
+    ``prescreened_robust`` optionally carries, per candidate index, a
+    *sound* robust verdict computed elsewhere (the frontier trainer's
+    vectorised gap-vs-bound screen); ``True`` entries skip the scalar
+    greedy test, which would have returned robust via the same bound.
+    The verdict logic is shared between the recursive and the frontier
+    trainer so the two can never drift apart.
+    """
+    verified = robustness_mode == "verified"
+    trusted = greedy_precondition_holds(best.stats, node_budget)
+    test = is_robust_beam if robustness_mode == "beam" else is_robust
+    threats: list[CandidateSplit] = []
+    for index, competitor in enumerate(candidates):
+        if index == best_index:
+            continue
+        if prescreened_robust is not None and prescreened_robust[index]:
+            greedy_says_robust = True
+        else:
+            greedy_says_robust = test(best.stats, competitor.stats, node_budget).robust
+        if not greedy_says_robust:
+            # A greedy non-robust verdict is constructive (the removal
+            # sequence it found is a real counterexample), so it is
+            # trustworthy regardless of the precondition.
+            threats.append(competitor)
+            continue
+        if verified and not trusted:
+            if node_budget <= MAX_ENUMERATION_BUDGET:
+                if not enumerate_is_robust(best.stats, competitor.stats, node_budget):
+                    threats.append(competitor)
+            else:
+                return "rejected", []
+    if threats:
+        return "non_robust", threats
+    return "robust", []
 
 
 class TreeBuilder:
@@ -246,41 +298,9 @@ class TreeBuilder:
         best_index: int,
         node_budget: int,
     ) -> tuple[str, list[CandidateSplit]]:
-        """Robustness verdict for the trial winner, plus its threats.
-
-        Returns ``("robust", [])``, ``("non_robust", threats)`` where
-        ``threats`` are the candidates able to overtake the winner within
-        the budget, or ``("rejected", [])`` -- the "verified" mode's re-draw
-        request for untrusted greedy verdicts it cannot afford to confirm by
-        enumeration.
-        """
-        verified = self.params.robustness_mode == "verified"
-        trusted = greedy_precondition_holds(best.stats, node_budget)
-        test = (
-            is_robust_beam
-            if self.params.robustness_mode == "beam"
-            else is_robust
+        return judge_best(
+            best, candidates, best_index, node_budget, self.params.robustness_mode
         )
-        threats: list[CandidateSplit] = []
-        for index, competitor in enumerate(candidates):
-            if index == best_index:
-                continue
-            result = test(best.stats, competitor.stats, node_budget)
-            if not result.robust:
-                # A greedy non-robust verdict is constructive (the removal
-                # sequence it found is a real counterexample), so it is
-                # trustworthy regardless of the precondition.
-                threats.append(competitor)
-                continue
-            if verified and not trusted:
-                if node_budget <= MAX_ENUMERATION_BUDGET:
-                    if not enumerate_is_robust(best.stats, competitor.stats, node_budget):
-                        threats.append(competitor)
-                else:
-                    return "rejected", []
-        if threats:
-            return "non_robust", threats
-        return "robust", []
 
     def _leaf(self, n: int, n_plus: int) -> Leaf:
         self.counters.leaves += 1

@@ -129,6 +129,7 @@ def _run_snapshot(config: ExperimentConfig, store_path: str) -> str:
         n_trees=config.n_trees,
         epsilon=config.epsilon,
         max_tries_per_split=config.max_tries_per_split,
+        trainer=config.trainer,
         seed=config.seed,
     ).fit(dataset)
     with ModelStore(store_path) as store:
@@ -206,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of datasets (default: all five)",
     )
     parser.add_argument(
+        "--trainer",
+        choices=["recursive", "frontier"],
+        default="recursive",
+        help="tree-growth strategy for HedgeCut and the tree baselines "
+        "(frontier = level-synchronous histogram trainer; same model "
+        "distribution, faster training)",
+    )
+    parser.add_argument(
         "--store",
         default="hedgecut-store",
         help="model-store directory for the snapshot/recover commands",
@@ -221,6 +230,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         repeats=args.repeats,
         seed=args.seed,
         datasets=tuple(args.datasets) if args.datasets else available_datasets(),
+        trainer=args.trainer,
     )
     if args.experiment in COMMANDS:
         print(f"== {args.experiment} ==", flush=True)

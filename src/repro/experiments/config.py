@@ -26,6 +26,11 @@ class ExperimentConfig:
         datasets: datasets to include, in Table 1 order.
         epsilon: unlearnable fraction (paper sweet spot 0.1%).
         max_tries_per_split: ``B`` (paper sweet spot 5).
+        trainer: tree-growth strategy for HedgeCut and the tree baselines,
+            "recursive" (node-at-a-time reference) or "frontier"
+            (level-synchronous histogram trainer). The learned model
+            distribution is the same either way; "frontier" changes only
+            the training wall-clock.
     """
 
     scale: float = 0.02
@@ -35,6 +40,7 @@ class ExperimentConfig:
     datasets: tuple[str, ...] = field(default_factory=available_datasets)
     epsilon: float = 0.001
     max_tries_per_split: int = 5
+    trainer: str = "recursive"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -46,6 +52,8 @@ class ExperimentConfig:
         unknown = set(self.datasets) - set(DATASETS)
         if unknown:
             raise ValueError(f"unknown datasets: {sorted(unknown)}")
+        if self.trainer not in ("recursive", "frontier"):
+            raise ValueError(f"unsupported trainer {self.trainer!r}")
 
     def rows_for(self, dataset_name: str) -> int:
         """Scaled row count of one dataset, bounded below by ``MIN_ROWS``."""

@@ -1,0 +1,275 @@
+"""Level-synchronous growth for the baseline tree learners.
+
+The baselines (CART, Random Forest trees, classic ERT) share the ordinal
+``code <= threshold`` node type of :mod:`repro.baselines.tree_common`.
+Their frontier cores reuse :class:`~repro.training.histogram.LevelHistograms`
+to turn per-node split search into per-level tensor lookups:
+
+* **CART / forest trees** -- the exhaustive threshold sweep of
+  ``best_threshold_for_feature`` becomes one prefix-summed impurity matrix
+  ``(n_slots, n_thresholds)`` per feature per level, shared by every node
+  of the level (and by every feature-subsampled node that draws the
+  feature).
+* **ERT** -- local value ranges come from the histogram support instead of
+  per-node ``min``/``max`` scans, and all candidate impurities of a level
+  are scored in a single :func:`~repro.baselines.tree_common.gini_children`
+  call.
+
+Impurity arithmetic is element-wise identical to the recursive builders,
+so deterministic learners (CART with ``max_features=None`` draws no random
+numbers) produce *bit-identical trees*; randomised learners consume their
+generator in breadth-first instead of depth-first order and match in
+distribution (see ``tests/training/test_baseline_frontier.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.tree_common import (
+    BaselineLeaf,
+    BaselineNode,
+    BaselineSplit,
+    gini_children,
+)
+from repro.training.histogram import LevelHistograms
+
+
+@dataclass
+class _Point:
+    """One frontier growth point of a baseline tree."""
+
+    rows: np.ndarray
+    depth: int
+    attach: tuple[BaselineSplit, str] | None
+
+
+def _attach(
+    node: BaselineNode,
+    attach: tuple[BaselineSplit, str] | None,
+    root_ref: list[BaselineNode | None],
+) -> None:
+    if attach is None:
+        root_ref[0] = node
+    else:
+        parent, side = attach
+        setattr(parent, side, node)
+
+
+def _level_histograms(
+    columns: Sequence[np.ndarray],
+    labels: np.ndarray,
+    frontier: list[_Point],
+    n_values: Sequence[int],
+) -> LevelHistograms:
+    sizes = np.asarray([point.rows.size for point in frontier], dtype=np.int64)
+    starts = np.zeros(len(frontier) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    rows = np.concatenate([point.rows for point in frontier])
+    return LevelHistograms.from_rows(columns, labels, rows, starts, n_values)
+
+
+def _route(
+    point: _Point,
+    node: BaselineSplit,
+    hist: LevelHistograms,
+    slot: int,
+    next_frontier: list[_Point],
+) -> None:
+    seg = hist.segment(slot)
+    seg_rows = hist.rows[seg]
+    goes_left = hist.codes[node.feature][seg] <= node.threshold
+    next_frontier.append(
+        _Point(rows=seg_rows[goes_left], depth=point.depth + 1, attach=(node, "left"))
+    )
+    next_frontier.append(
+        _Point(rows=seg_rows[~goes_left], depth=point.depth + 1, attach=(node, "right"))
+    )
+
+
+def grow_cart_tree(
+    columns: Sequence[np.ndarray],
+    labels: np.ndarray,
+    n_values: Sequence[int],
+    rows: np.ndarray,
+    *,
+    min_samples_split: int,
+    min_samples_leaf: int,
+    max_depth: int | None,
+    max_features_sqrt: bool,
+    rng: np.random.Generator,
+) -> BaselineNode:
+    """Frontier counterpart of ``DecisionTreeClassifier._build``.
+
+    With ``max_features_sqrt=False`` no random numbers are drawn and the
+    grown tree is bit-identical to the recursive builder's; with feature
+    subsampling the draws happen in breadth-first order.
+    """
+    n_features = len(columns)
+    k = max(1, round(np.sqrt(n_features))) if max_features_sqrt else 0
+    root_ref: list[BaselineNode | None] = [None]
+    frontier = [_Point(rows=rows, depth=0, attach=None)]
+    while frontier:
+        hist = _level_histograms(columns, labels, frontier, n_values)
+        # Lazy per-feature impurity tables for the whole level: the sweep of
+        # best_threshold_for_feature for every node at once.
+        tables: dict[int, tuple[np.ndarray, np.ndarray] | None] = {}
+
+        def feature_tables(feature: int) -> tuple[np.ndarray, np.ndarray] | None:
+            if feature not in tables:
+                if n_values[feature] < 2:
+                    tables[feature] = None
+                else:
+                    cum_t, cum_p = hist.threshold_counts(feature)
+                    impurity = gini_children(
+                        cum_t, cum_p, hist.node_n[:, None], hist.node_plus[:, None]
+                    )
+                    tables[feature] = (impurity, cum_t)
+            return tables[feature]
+
+        next_frontier: list[_Point] = []
+        for slot, point in enumerate(frontier):
+            n = int(hist.node_n[slot])
+            n_plus = int(hist.node_plus[slot])
+            pure = n_plus in (0, n)
+            depth_capped = max_depth is not None and point.depth >= max_depth
+            if n < min_samples_split or pure or depth_capped:
+                _attach(BaselineLeaf(n=n, n_plus=n_plus), point.attach, root_ref)
+                continue
+
+            if max_features_sqrt:
+                features = rng.choice(n_features, size=k, replace=False)
+            else:
+                features = np.arange(n_features)
+
+            best_feature = -1
+            best_threshold = -1
+            best_impurity = np.inf
+            for feature in features:
+                entry = feature_tables(int(feature))
+                if entry is None:
+                    continue
+                impurity_row = entry[0][slot]
+                threshold = int(np.argmin(impurity_row))
+                if not np.isfinite(impurity_row[threshold]):
+                    continue
+                if impurity_row[threshold] < best_impurity:
+                    best_feature = int(feature)
+                    best_threshold = threshold
+                    best_impurity = float(impurity_row[threshold])
+
+            if best_feature < 0:
+                _attach(BaselineLeaf(n=n, n_plus=n_plus), point.attach, root_ref)
+                continue
+            entry = feature_tables(best_feature)
+            assert entry is not None
+            n_left = int(entry[1][slot, best_threshold])
+            if n_left < min_samples_leaf or n - n_left < min_samples_leaf:
+                _attach(BaselineLeaf(n=n, n_plus=n_plus), point.attach, root_ref)
+                continue
+            node = BaselineSplit(
+                feature=best_feature, threshold=best_threshold, left=None, right=None
+            )
+            _attach(node, point.attach, root_ref)
+            _route(point, node, hist, slot, next_frontier)
+        frontier = next_frontier
+    root = root_ref[0]
+    assert root is not None
+    return root
+
+
+def grow_ert_tree(
+    columns: Sequence[np.ndarray],
+    labels: np.ndarray,
+    n_values: Sequence[int],
+    rows: np.ndarray,
+    *,
+    min_samples_leaf: int,
+    n_candidates: int | None,
+    rng: np.random.Generator,
+) -> BaselineNode:
+    """Frontier counterpart of ``ExtraTreesClassifier._build``.
+
+    Candidate thresholds are drawn from the node-local value range exactly
+    as in Algorithm 1 (the ranges come from the histogram support); all
+    candidate impurities of a level are scored in one vectorised call.
+    """
+    n_features = len(columns)
+    k_default = max(1, round(np.sqrt(n_features)))
+    root_ref: list[BaselineNode | None] = [None]
+    frontier = [_Point(rows=rows, depth=0, attach=None)]
+    while frontier:
+        hist = _level_histograms(columns, labels, frontier, n_values)
+        firsts = np.empty((hist.n_slots, n_features), dtype=np.int64)
+        lasts = np.empty((hist.n_slots, n_features), dtype=np.int64)
+        for feature in range(n_features):
+            firsts[:, feature], lasts[:, feature] = hist.local_ranges(feature)
+
+        # Draw every candidate of the level (rng consumed in slot order),
+        # then score all of them in one gini_children call.
+        splittable: list[tuple[int, _Point]] = []
+        drawn: dict[int, list[tuple[int, int, int, int]]] = {}
+        flat: list[tuple[int, int, int, int]] = []
+        for slot, point in enumerate(frontier):
+            n = int(hist.node_n[slot])
+            n_plus = int(hist.node_plus[slot])
+            if n <= min_samples_leaf or n_plus in (0, n):
+                _attach(BaselineLeaf(n=n, n_plus=n_plus), point.attach, root_ref)
+                continue
+            non_constant = np.flatnonzero(firsts[slot] != lasts[slot])
+            if non_constant.size == 0:
+                _attach(BaselineLeaf(n=n, n_plus=n_plus), point.attach, root_ref)
+                continue
+            k = min(n_candidates or k_default, non_constant.size)
+            features = rng.choice(non_constant, size=k, replace=False)
+            candidates: list[tuple[int, int, int, int]] = []
+            for feature in features:
+                low = int(firsts[slot, feature])
+                high = int(lasts[slot, feature])
+                threshold = int(rng.integers(low, high))
+                cum_t, cum_p = hist.threshold_counts(int(feature))
+                n_left = int(cum_t[slot, threshold])
+                n_left_plus = int(cum_p[slot, threshold])
+                candidates.append((int(feature), threshold, n_left, n_left_plus))
+                flat.append((n_left, n_left_plus, n, n_plus))
+            splittable.append((slot, point))
+            drawn[slot] = candidates
+
+        next_frontier: list[_Point] = []
+        if splittable:
+            counts = np.asarray(flat, dtype=np.int64)
+            impurities = gini_children(
+                counts[:, 0], counts[:, 1], counts[:, 2], counts[:, 3]
+            )
+            cursor = 0
+            for slot, point in splittable:
+                n = int(hist.node_n[slot])
+                n_plus = int(hist.node_plus[slot])
+                best_feature = -1
+                best_threshold = -1
+                best_impurity = np.inf
+                for feature, threshold, _, _ in drawn[slot]:
+                    impurity = float(impurities[cursor])
+                    cursor += 1
+                    if impurity < best_impurity:
+                        best_feature = feature
+                        best_threshold = threshold
+                        best_impurity = impurity
+                if best_feature < 0 or not np.isfinite(best_impurity):
+                    _attach(BaselineLeaf(n=n, n_plus=n_plus), point.attach, root_ref)
+                    continue
+                node = BaselineSplit(
+                    feature=best_feature,
+                    threshold=best_threshold,
+                    left=None,
+                    right=None,
+                )
+                _attach(node, point.attach, root_ref)
+                _route(point, node, hist, slot, next_frontier)
+        frontier = next_frontier
+    root = root_ref[0]
+    assert root is not None
+    return root

@@ -169,3 +169,129 @@ class TestPrecondition:
     def test_fails_on_small_quadrant(self):
         stats = SplitStats(n=40, n_plus=20, n_left=20, n_left_plus=19)
         assert not greedy_precondition_holds(stats, 5)
+
+
+class TestBatchedGreedyEquivalence:
+    """The frontier trainer's vectorised robustness path must reproduce the
+    scalar ``is_robust`` verdict bit-for-bit: ``prescreen_robust_pairs``
+    may only claim robust where the scalar prune would, and
+    ``greedy_weaken_batch`` must follow the same weakening trajectory
+    (same argmin tie-breaks over the eight removal configurations)."""
+
+    @staticmethod
+    def _random_pairs(seed: int, count: int, near_tie: bool):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = rng.integers(5, 400, size=count)
+        n_plus = np.array([rng.integers(1, v) for v in n])
+
+        def draw_side(anchor=None, anchor_plus=None):
+            if anchor is None:
+                left = np.array([rng.integers(1, v) for v in n])
+            else:
+                left = np.clip(anchor + rng.integers(-2, 3, size=count), 1, n - 1)
+            low = np.maximum(0, n_plus - (n - left))
+            high = np.minimum(n_plus, left)
+            if anchor_plus is None:
+                left_plus = np.array(
+                    [rng.integers(lo, hi + 1) for lo, hi in zip(low, high)]
+                )
+            else:
+                left_plus = np.clip(
+                    anchor_plus + rng.integers(-2, 3, size=count), low, high
+                )
+            return left, left_plus
+
+        best_left, best_left_plus = draw_side()
+        if near_tie:
+            cand_left, cand_left_plus = draw_side(best_left, best_left_plus)
+        else:
+            cand_left, cand_left_plus = draw_side()
+        budgets = rng.integers(0, 41, size=count)
+        return n, n_plus, best_left, best_left_plus, cand_left, cand_left_plus, budgets
+
+    @pytest.mark.parametrize("near_tie", [True, False])
+    def test_batch_path_matches_scalar_is_robust(self, near_tie):
+        import numpy as np
+
+        from repro.core.robustness import greedy_weaken_batch, prescreen_robust_pairs
+
+        count = 300
+        n, n_plus, bl, blp, cl, clp, budgets = self._random_pairs(
+            23 if near_tie else 24, count, near_tie
+        )
+        screened = prescreen_robust_pairs(
+            (n, n_plus, bl, blp), (n, n_plus, cl, clp), budgets
+        )
+        verdicts = screened.copy()
+        undecided = np.flatnonzero(~screened)
+        verdicts[undecided] = greedy_weaken_batch(
+            n[undecided],
+            n_plus[undecided],
+            bl[undecided],
+            blp[undecided],
+            cl[undecided],
+            clp[undecided],
+            budgets[undecided],
+        )
+        for index in range(count):
+            best = SplitStats(
+                n=int(n[index]),
+                n_plus=int(n_plus[index]),
+                n_left=int(bl[index]),
+                n_left_plus=int(blp[index]),
+            )
+            candidate = SplitStats(
+                n=int(n[index]),
+                n_plus=int(n_plus[index]),
+                n_left=int(cl[index]),
+                n_left_plus=int(clp[index]),
+            )
+            scalar = is_robust(best, candidate, int(budgets[index])).robust
+            assert scalar == bool(verdicts[index]), (
+                f"pair {index}: scalar {scalar}, batch {bool(verdicts[index])}"
+            )
+
+    @pytest.mark.parametrize("near_tie", [True, False])
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_windowed_batch_matches_stepwise_reference(self, near_tie, prune):
+        from repro.core.robustness import (
+            greedy_weaken_batch,
+            greedy_weaken_batch_stepwise,
+        )
+
+        count = 1500
+        n, n_plus, bl, blp, cl, clp, budgets = self._random_pairs(
+            31 if near_tie else 32, count, near_tie
+        )
+        fast = greedy_weaken_batch(n, n_plus, bl, blp, cl, clp, budgets, prune=prune)
+        reference = greedy_weaken_batch_stepwise(
+            n, n_plus, bl, blp, cl, clp, budgets, prune=prune
+        )
+        assert (fast == reference).all()
+
+    def test_prescreen_is_sound(self):
+        """Everything the pre-screen calls robust, the scalar prune confirms."""
+        import numpy as np
+
+        from repro.core.robustness import prescreen_robust_pairs
+
+        n, n_plus, bl, blp, cl, clp, budgets = self._random_pairs(41, 400, False)
+        screened = prescreen_robust_pairs(
+            (n, n_plus, bl, blp), (n, n_plus, cl, clp), budgets
+        )
+        for index in np.flatnonzero(screened):
+            best = SplitStats(
+                n=int(n[index]),
+                n_plus=int(n_plus[index]),
+                n_left=int(bl[index]),
+                n_left_plus=int(blp[index]),
+            )
+            candidate = SplitStats(
+                n=int(n[index]),
+                n_plus=int(n_plus[index]),
+                n_left=int(cl[index]),
+                n_left_plus=int(clp[index]),
+            )
+            assert is_robust(best, candidate, int(budgets[index])).robust

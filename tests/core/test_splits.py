@@ -214,3 +214,61 @@ class TestCountSplit:
         rows = np.asarray([0, 1, 2, 4])
         stats = count_split(dataset, rows, NumericSplit(feature=0, cut=2))
         assert (stats.n, stats.n_plus, stats.n_left, stats.n_left_plus) == (4, 3, 2, 2)
+
+
+class TestSplitStatsCaches:
+    """The gain/quadrant caches behind maintenance re-scoring."""
+
+    def test_gini_gain_is_cached_between_mutations(self):
+        stats = SplitStats(n=20, n_plus=8, n_left=12, n_left_plus=6)
+        first = stats.gini_gain()
+        assert stats._gain_cache == first
+        assert stats.gini_gain() == first
+
+    def test_quadrants_return_cached_tuple(self):
+        stats = SplitStats(n=20, n_plus=8, n_left=12, n_left_plus=6)
+        first = stats.quadrants()
+        assert stats.quadrants() is first
+
+    def test_remove_invalidates_both_caches(self):
+        stats = SplitStats(n=20, n_plus=8, n_left=12, n_left_plus=6)
+        stale_gain = stats.gini_gain()
+        stale_quadrants = stats.quadrants()
+        stats.remove(positive=True, left=True)
+        fresh = SplitStats(n=19, n_plus=7, n_left=11, n_left_plus=5)
+        assert stats.quadrants() == fresh.quadrants()
+        assert stats.quadrants() != stale_quadrants
+        assert stats.gini_gain() == fresh.gini_gain()
+        assert stats.gini_gain() != stale_gain
+
+    def test_direct_assignment_invalidates_automatically(self):
+        stats = SplitStats(n=20, n_plus=8, n_left=12, n_left_plus=6)
+        stats.gini_gain()
+        stats.quadrants()
+        stats.n -= 1
+        stats.n_left -= 1
+        fresh = SplitStats(n=19, n_plus=8, n_left=11, n_left_plus=6)
+        assert stats.gini_gain() == fresh.gini_gain()
+        assert stats.quadrants() == fresh.quadrants()
+        # The explicit hook remains available for callers that want it.
+        stats.invalidate_caches()
+        assert stats.gini_gain() == fresh.gini_gain()
+
+    def test_after_removal_leaves_source_cache_intact(self):
+        stats = SplitStats(n=20, n_plus=8, n_left=12, n_left_plus=6)
+        gain = stats.gini_gain()
+        updated = stats.after_removal(positive=False, left=False)
+        assert stats.gini_gain() == gain
+        assert updated.gini_gain() != gain
+
+    def test_old_pickles_without_cache_attributes_still_work(self):
+        # Class-level defaults stand in for the missing instance attributes.
+        stats = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=3)
+        state = dict(stats.__dict__)
+        state.pop("_gain_key", None)
+        state.pop("_gain_cache", None)
+        state.pop("_quadrants_cache", None)
+        restored = SplitStats.__new__(SplitStats)
+        restored.__dict__.update(state)
+        assert restored.gini_gain() == stats.gini_gain()
+        assert restored.quadrants() == stats.quadrants()

@@ -1,0 +1,153 @@
+"""Equivalence of the baseline frontier cores against the recursive builders.
+
+CART without feature subsampling draws no random numbers, so the frontier
+core must grow a *bit-identical* tree. The randomised learners (CART with
+``max_features="sqrt"``, Random Forest, classic ERT) consume their
+generators in breadth-first instead of depth-first order and are compared
+on aggregate structure and held-out behaviour instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cart import DecisionTreeClassifier
+from repro.baselines.ert import ExtraTreesClassifier
+from repro.baselines.forest import RandomForestClassifier
+from repro.baselines.tree_common import BaselineLeaf, BaselineSplit
+
+from tests.conftest import make_random_dataset
+
+
+def trees_identical(a, b) -> bool:
+    """Structural equality of two baseline trees."""
+    stack = [(a, b)]
+    while stack:
+        left, right = stack.pop()
+        if type(left) is not type(right):
+            return False
+        if isinstance(left, BaselineLeaf):
+            if (left.n, left.n_plus) != (right.n, right.n_plus):
+                return False
+        else:
+            assert isinstance(left, BaselineSplit)
+            if (left.feature, left.threshold) != (right.feature, right.threshold):
+                return False
+            stack.append((left.left, right.left))
+            stack.append((left.right, right.right))
+    return True
+
+
+class TestCartFrontier:
+    def test_rejects_unknown_trainer(self):
+        with pytest.raises(ValueError, match="trainer"):
+            DecisionTreeClassifier(trainer="bogus")
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exhaustive_cart_is_bit_identical(self, seed):
+        """No feature subsampling -> no RNG -> identical trees."""
+        dataset = make_random_dataset(n_rows=300, seed=seed)
+        recursive = DecisionTreeClassifier().fit(dataset)
+        frontier = DecisionTreeClassifier(trainer="frontier").fit(dataset)
+        assert trees_identical(recursive._root, frontier._root)
+
+    def test_exhaustive_cart_identical_on_income(self, income_small):
+        recursive = DecisionTreeClassifier(min_samples_leaf=2).fit(income_small)
+        frontier = DecisionTreeClassifier(
+            min_samples_leaf=2, trainer="frontier"
+        ).fit(income_small)
+        assert trees_identical(recursive._root, frontier._root)
+
+    def test_depth_cap_respected_and_identical(self, income_small):
+        recursive = DecisionTreeClassifier(max_depth=4).fit(income_small)
+        frontier = DecisionTreeClassifier(max_depth=4, trainer="frontier").fit(
+            income_small
+        )
+        assert trees_identical(recursive._root, frontier._root)
+
+    def test_subsampled_cart_accuracy_parity(self, income_small):
+        labels = income_small.labels
+        accs = {}
+        for trainer in ("recursive", "frontier"):
+            fits = [
+                DecisionTreeClassifier(
+                    max_features="sqrt", trainer=trainer, seed=seed
+                ).fit(income_small)
+                for seed in range(5)
+            ]
+            accs[trainer] = np.mean(
+                [(t.predict_batch(income_small) == labels).mean() for t in fits]
+            )
+        assert abs(accs["recursive"] - accs["frontier"]) < 0.05
+
+
+class TestErtFrontier:
+    def test_rejects_unknown_trainer(self):
+        with pytest.raises(ValueError, match="trainer"):
+            ExtraTreesClassifier(trainer="bogus")
+
+    def test_accuracy_parity(self, income_small):
+        labels = income_small.labels
+        recursive = ExtraTreesClassifier(n_estimators=8, seed=7).fit(income_small)
+        frontier = ExtraTreesClassifier(
+            n_estimators=8, trainer="frontier", seed=7
+        ).fit(income_small)
+        acc_rec = (recursive.predict_batch(income_small) == labels).mean()
+        acc_fro = (frontier.predict_batch(income_small) == labels).mean()
+        assert abs(acc_rec - acc_fro) < 0.06
+
+    def test_aggregate_leaf_counts_match(self):
+        dataset = make_random_dataset(n_rows=300, seed=33)
+
+        def leaves(root) -> int:
+            count, stack = 0, [root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, BaselineLeaf):
+                    count += 1
+                else:
+                    stack.extend((node.left, node.right))
+            return count
+
+        rec, fro = [], []
+        for seed in range(6):
+            rec.append(
+                np.mean(
+                    [
+                        leaves(root)
+                        for root in ExtraTreesClassifier(n_estimators=3, seed=seed)
+                        .fit(dataset)
+                        ._trees
+                    ]
+                )
+            )
+            fro.append(
+                np.mean(
+                    [
+                        leaves(root)
+                        for root in ExtraTreesClassifier(
+                            n_estimators=3, trainer="frontier", seed=100 + seed
+                        )
+                        .fit(dataset)
+                        ._trees
+                    ]
+                )
+            )
+        assert np.mean(fro) == pytest.approx(np.mean(rec), rel=0.15)
+
+
+class TestForestFrontier:
+    def test_rejects_unknown_trainer(self):
+        with pytest.raises(ValueError, match="trainer"):
+            RandomForestClassifier(trainer="bogus")
+
+    def test_accuracy_parity(self, income_small):
+        labels = income_small.labels
+        recursive = RandomForestClassifier(n_estimators=6, seed=5).fit(income_small)
+        frontier = RandomForestClassifier(
+            n_estimators=6, trainer="frontier", seed=5
+        ).fit(income_small)
+        acc_rec = (recursive.predict_batch(income_small) == labels).mean()
+        acc_fro = (frontier.predict_batch(income_small) == labels).mean()
+        assert abs(acc_rec - acc_fro) < 0.06

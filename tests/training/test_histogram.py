@@ -1,0 +1,140 @@
+"""Property tests for the per-level histogram store.
+
+Every derived view of :class:`LevelHistograms` is checked against a naive
+per-segment scan over the same level arrays -- the histogram tensors must
+be a pure re-arrangement of the underlying counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training.histogram import LevelHistograms
+
+
+def make_level(seed: int, n_slots: int = 5, n_features: int = 3):
+    """A random level: per-feature codes, labels, slot starts (some empty)."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(0, 40, size=n_slots)
+    total = int(sizes.sum())
+    starts = np.zeros(n_slots + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    n_values = [int(v) for v in rng.integers(2, 9, size=n_features)]
+    codes = [rng.integers(0, v, size=total).astype(np.int64) for v in n_values]
+    labels = rng.integers(0, 2, size=total).astype(np.int64)
+    return LevelHistograms(codes, labels, starts, n_values), codes, labels, starts
+
+
+class TestLevelHistograms:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_totals_and_positives_match_naive_bincount(self, seed):
+        hist, codes, labels, starts = make_level(seed)
+        for feature in range(hist.n_features):
+            for slot in range(hist.n_slots):
+                seg = slice(int(starts[slot]), int(starts[slot + 1]))
+                seg_codes = codes[feature][seg]
+                seg_labels = labels[seg]
+                expect_t = np.bincount(seg_codes, minlength=hist.n_values[feature])
+                expect_p = np.bincount(
+                    seg_codes[seg_labels == 1], minlength=hist.n_values[feature]
+                )
+                assert np.array_equal(hist.totals[feature][slot], expect_t)
+                assert np.array_equal(hist.positives[feature][slot], expect_p)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_node_label_totals(self, seed):
+        hist, _, labels, starts = make_level(seed)
+        for slot in range(hist.n_slots):
+            seg = slice(int(starts[slot]), int(starts[slot + 1]))
+            assert hist.node_n[slot] == seg.stop - seg.start
+            assert hist.node_plus[slot] == int(labels[seg].sum())
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_numeric_counts_match_scan(self, seed):
+        hist, codes, labels, starts = make_level(seed)
+        for feature in range(hist.n_features):
+            for slot in range(hist.n_slots):
+                seg = slice(int(starts[slot]), int(starts[slot + 1]))
+                for cut in range(1, hist.n_values[feature]):
+                    goes_left = codes[feature][seg] < cut
+                    n_left, n_left_plus = hist.numeric_counts(feature, slot, cut)
+                    assert n_left == int(goes_left.sum())
+                    assert n_left_plus == int((goes_left & (labels[seg] == 1)).sum())
+
+    def test_threshold_counts_match_scan(self):
+        hist, codes, labels, starts = make_level(8)
+        for feature in range(hist.n_features):
+            cum_t, cum_p = hist.threshold_counts(feature)
+            assert cum_t.shape == (hist.n_slots, hist.n_values[feature] - 1)
+            for slot in range(hist.n_slots):
+                seg = slice(int(starts[slot]), int(starts[slot + 1]))
+                for threshold in range(hist.n_values[feature] - 1):
+                    goes_left = codes[feature][seg] <= threshold
+                    assert cum_t[slot, threshold] == int(goes_left.sum())
+                    assert cum_p[slot, threshold] == int(
+                        (goes_left & (labels[seg] == 1)).sum()
+                    )
+
+    def test_subset_counts_match_scan(self):
+        hist, codes, labels, starts = make_level(9)
+        rng = np.random.default_rng(99)
+        for feature in range(hist.n_features):
+            n_values = hist.n_values[feature]
+            member = rng.random(n_values) < 0.5
+            for slot in range(hist.n_slots):
+                seg = slice(int(starts[slot]), int(starts[slot + 1]))
+                in_subset = member[codes[feature][seg]]
+                n_left, n_left_plus = hist.subset_counts(feature, slot, member)
+                assert n_left == int(in_subset.sum())
+                assert n_left_plus == int((in_subset & (labels[seg] == 1)).sum())
+
+    def test_local_ranges_match_min_max(self):
+        hist, codes, _, starts = make_level(10)
+        for feature in range(hist.n_features):
+            firsts, lasts = hist.local_ranges(feature)
+            for slot in range(hist.n_slots):
+                seg = slice(int(starts[slot]), int(starts[slot + 1]))
+                seg_codes = codes[feature][seg]
+                if seg_codes.size == 0:
+                    assert firsts[slot] == 0 and lasts[slot] == -1
+                else:
+                    assert firsts[slot] == int(seg_codes.min())
+                    assert lasts[slot] == int(seg_codes.max())
+
+    def test_non_constant_matrix(self):
+        hist, codes, _, starts = make_level(11)
+        matrix = hist.non_constant_matrix()
+        for feature in range(hist.n_features):
+            for slot in range(hist.n_slots):
+                seg = slice(int(starts[slot]), int(starts[slot + 1]))
+                distinct = np.unique(codes[feature][seg]).size
+                assert matrix[slot, feature] == (distinct > 1)
+
+    def test_from_rows_gathers_global_columns(self):
+        rng = np.random.default_rng(12)
+        n_rows, n_features = 120, 3
+        n_values = [6, 4, 8]
+        columns = [rng.integers(0, v, size=n_rows).astype(np.int64) for v in n_values]
+        labels = rng.integers(0, 2, size=n_rows).astype(np.int64)
+        rows = rng.permutation(n_rows)[:80]
+        starts = np.asarray([0, 30, 30, 80], dtype=np.int64)
+        hist = LevelHistograms.from_rows(columns, labels, rows, starts, n_values)
+        assert hist.rows is not None and np.array_equal(hist.rows, rows)
+        for slot in range(3):
+            seg_rows = rows[int(starts[slot]) : int(starts[slot + 1])]
+            assert hist.node_n[slot] == seg_rows.size
+            assert hist.node_plus[slot] == int(labels[seg_rows].sum())
+            for feature in range(n_features):
+                expect = np.bincount(
+                    columns[feature][seg_rows], minlength=n_values[feature]
+                )
+                assert np.array_equal(hist.totals[feature][slot], expect)
+
+    def test_segment_slices_cover_the_level(self):
+        hist, _, labels, starts = make_level(13)
+        covered = sum(
+            hist.segment(slot).stop - hist.segment(slot).start
+            for slot in range(hist.n_slots)
+        )
+        assert covered == labels.size

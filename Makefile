@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-all bench-smoke bench-inference bench-training lint
+.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning lint
 
 ## Run the fast unit/property/integration suite (slow-marked tests are
 ## excluded via addopts in pyproject.toml).
@@ -31,6 +31,11 @@ bench-inference:
 ## machine-readable results land in BENCH_training.json at the repo root.
 bench-training:
 	$(PYTHON) benchmarks/bench_training.py
+
+## Batch-unlearning benchmark (scalar loop vs vectorised kernel);
+## machine-readable results land in BENCH_unlearning.json at the repo root.
+bench-unlearning:
+	$(PYTHON) benchmarks/bench_unlearning.py
 
 ## Static sanity: byte-compile everything (no third-party linter is
 ## vendored in the image).

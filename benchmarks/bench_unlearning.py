@@ -1,0 +1,264 @@
+"""Unlearning benchmark: batch-deletion kernel vs the scalar loop.
+
+Measures, on the largest registry dataset (credit):
+
+* single-record unlearning latency (p50/p99) through the scalar
+  Algorithm-4 traversal -- the figure the paper reports at ~100us, and
+* batched deletion throughput (deletions/second) of the vectorised
+  batch-unlearning kernel (:mod:`repro.core.unlearn_batch`) against the
+  record-at-a-time scalar loop, at batch sizes 1/16/64/256.
+
+Before any timing, the run *asserts* scalar-vs-batch equivalence on the
+exact deletion campaign it is about to measure: identical aggregated
+:class:`UnlearningReport` and bit-identical ``predict_proba`` afterwards.
+A throughput number for a kernel that changes the verdicts would be
+meaningless.
+
+Both sides are measured with warm packs (read-path pack plus the
+write-path unlearn pack) on fresh model copies per repeat, best-of-
+``repeats``. The batched side's timing includes the per-tree repacks
+triggered by variant switches -- that cost is part of serving a batch.
+Results land in ``BENCH_unlearning.json`` (machine-readable; committed
+alongside the code). Run via ``make bench-unlearning``; ``--smoke`` runs
+a seconds-scale variant that prints but does not overwrite the artefact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.unlearning import UnlearningReport
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.evaluation.splits import train_test_split
+
+#: The paper's headline single-record unlearning latency (Table 2 scale).
+PAPER_SINGLE_RECORD_US = 100.0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _warm_copy(model: HedgeCutClassifier) -> HedgeCutClassifier:
+    """A fresh copy with both packs built, so timings exclude pack builds."""
+    work = copy.deepcopy(model)
+    work.packed.unlearn_pack()
+    return work
+
+
+def _scalar_campaign(work: HedgeCutClassifier, records) -> UnlearningReport:
+    report = UnlearningReport()
+    for record in records:
+        report.merge(work.unlearn(record, allow_budget_overrun=True))
+    return report
+
+
+def _batched_campaign(
+    work: HedgeCutClassifier, records, batch_size: int
+) -> UnlearningReport:
+    report = UnlearningReport()
+    for start in range(0, len(records), batch_size):
+        report.merge(
+            work.unlearn_batch(
+                records[start : start + batch_size], allow_budget_overrun=True
+            )
+        )
+    return report
+
+
+def _assert_equivalence(model: HedgeCutClassifier, records, test) -> dict:
+    """Scalar and batched campaigns must agree before anything is timed."""
+    scalar = _warm_copy(model)
+    batched = _warm_copy(model)
+    scalar_report = _scalar_campaign(scalar, records)
+    batched_report = _batched_campaign(batched, records, batch_size=len(records))
+    assert scalar_report == batched_report, (
+        f"report mismatch: scalar {scalar_report} vs batched {batched_report}"
+    )
+    scalar_proba = scalar.predict_proba_batch(test)
+    batched_proba = batched.predict_proba_batch(test)
+    assert np.array_equal(scalar_proba, batched_proba), (
+        "batched campaign diverged from the scalar loop on predict_proba"
+    )
+    return {
+        "checked_records": len(records),
+        "reports_equal": True,
+        "proba_bit_identical": True,
+        "variant_switches": scalar_report.variant_switches,
+        "leaves_updated": scalar_report.leaves_updated,
+    }
+
+
+def _best_seconds(model, records, repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        work = _warm_copy(model)
+        start = time.perf_counter()
+        run(work, records)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _single_record_latency(model: HedgeCutClassifier, records) -> dict:
+    work = _warm_copy(model)
+    latencies = []
+    for record in records:
+        start = time.perf_counter()
+        work.unlearn(record, allow_budget_overrun=True)
+        latencies.append((time.perf_counter() - start) * 1e6)
+    return {
+        "n_samples": len(records),
+        "p50_us": _percentile(latencies, 50),
+        "p99_us": _percentile(latencies, 99),
+        "mean_us": float(np.mean(latencies)),
+        "paper_target_us": PAPER_SINGLE_RECORD_US,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=sorted(DATASETS), default="credit")
+    parser.add_argument("--n-rows", type=int, default=40_000)
+    parser.add_argument("--n-trees", type=int, default=8)
+    parser.add_argument("--epsilon", type=float, default=0.005)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--n-records",
+        type=int,
+        default=256,
+        help="deletion campaign length (timed whole at every batch size)",
+    )
+    parser.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 16, 64, 256]
+    )
+    parser.add_argument("--single-samples", type=int, default=200)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale run (4000 rows, 64 deletions); prints the result "
+        "but leaves BENCH_unlearning.json untouched unless --output is given",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.n_rows = min(args.n_rows, 4000)
+        args.n_trees = min(args.n_trees, 4)
+        args.n_records = min(args.n_records, 64)
+        args.batch_sizes = [b for b in args.batch_sizes if b <= args.n_records]
+        args.single_samples = min(args.single_samples, 50)
+        args.repeats = 1
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).parent.parent / "BENCH_unlearning.json"
+
+    data = load_dataset(args.dataset, n_rows=args.n_rows, seed=3)
+    train, test = train_test_split(data, test_fraction=0.2, seed=3)
+    print(
+        f"[{args.dataset}] fitting {args.n_trees} trees on {train.n_rows} rows "
+        f"(epsilon={args.epsilon}) ..."
+    )
+    model = HedgeCutClassifier(
+        n_trees=args.n_trees, epsilon=args.epsilon, seed=args.seed
+    ).fit(train)
+
+    records = [train.record(row) for row in range(args.n_records)]
+
+    print(f"asserting scalar-vs-batch equivalence over {len(records)} deletions ...")
+    equivalence = _assert_equivalence(model, records, test)
+    print(
+        f"equivalent: {equivalence['leaves_updated']} leaf updates, "
+        f"{equivalence['variant_switches']} variant switches, "
+        f"proba bit-identical"
+    )
+
+    singles = _single_record_latency(
+        model, [train.record(row) for row in range(args.single_samples)]
+    )
+    print(
+        f"single-record unlearn: p50 {singles['p50_us']:.1f}us, "
+        f"p99 {singles['p99_us']:.1f}us (paper ~{PAPER_SINGLE_RECORD_US:.0f}us)"
+    )
+
+    scalar_seconds = _best_seconds(
+        model, records, args.repeats, lambda work, recs: _scalar_campaign(work, recs)
+    )
+    scalar_per_sec = args.n_records / scalar_seconds
+    print(
+        f"scalar loop: {args.n_records} deletions in {scalar_seconds:.3f}s "
+        f"({scalar_per_sec:.0f} deletions/s)"
+    )
+
+    batched = []
+    for batch_size in args.batch_sizes:
+        seconds = _best_seconds(
+            model,
+            records,
+            args.repeats,
+            lambda work, recs: _batched_campaign(work, recs, batch_size),
+        )
+        entry = {
+            "batch_size": batch_size,
+            "n_records": args.n_records,
+            "scalar_deletions_per_sec": scalar_per_sec,
+            "batched_deletions_per_sec": args.n_records / seconds,
+            "speedup": scalar_seconds / seconds,
+        }
+        batched.append(entry)
+        print(
+            f"batch {batch_size:>4}: {entry['batched_deletions_per_sec']:.0f} "
+            f"deletions/s -> {entry['speedup']:.2f}x over scalar"
+        )
+
+    headline = batched[-1]
+    result = {
+        "benchmark": "batch unlearning kernel",
+        "config": {
+            "dataset": args.dataset,
+            "n_rows": args.n_rows,
+            "train_rows": train.n_rows,
+            "test_rows": test.n_rows,
+            "n_trees": args.n_trees,
+            "epsilon": args.epsilon,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "n_records": args.n_records,
+            "smoke": args.smoke,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "equivalence": equivalence,
+        "single_record": singles,
+        "batched": batched,
+        "headline_batch_size": headline["batch_size"],
+        "headline_speedup": headline["speedup"],
+    }
+    if output is not None:
+        output.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if output is not None:
+        print(f"\nwrote {output}")
+    print(
+        f"headline: batch-{headline['batch_size']} unlearning at "
+        f"{headline['batched_deletions_per_sec']:.0f} deletions/s vs scalar "
+        f"{scalar_per_sec:.0f} deletions/s on {args.dataset} "
+        f"({train.n_rows} rows) -> {result['headline_speedup']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,11 @@ from repro.core.nodes import Leaf, MaintenanceNode, NodeCensus, SplitNode, censu
 from repro.core.packed import PackedEnsemble
 from repro.core.params import HedgeCutParams
 from repro.core.tree import HedgeCutTree
-from repro.core.unlearning import UnlearningReport, unlearn_from_tree
+from repro.core.unlearning import (
+    UnlearningReport,
+    apply_unlearn,
+    plan_unlearn,
+)
 from repro.dataprep.dataset import Dataset, FeatureSchema, Record
 from repro.training import build_tree
 
@@ -325,6 +329,35 @@ class HedgeCutClassifier:
             an :class:`UnlearningReport` aggregated over all trees.
         """
         self._require_fitted()
+        self._validate_unlearn_record(record)
+        if self._n_unlearned >= self._deletion_budget and not allow_budget_overrun:
+            raise DeletionBudgetExhausted(
+                f"the deletion budget of {self._deletion_budget} records is "
+                f"exhausted; retrain the model or pass allow_budget_overrun=True"
+            )
+
+        # Plan (and validate) the removal against every tree before applying
+        # it to any of them: a record inconsistent with the model raises
+        # here and leaves the whole ensemble untouched.
+        plans = [plan_unlearn(tree.root, record) for tree in self._trees]
+        report = UnlearningReport()
+        leaf_sink = self._packed.sync_leaf if self._packed is not None else None
+        for index, plan in enumerate(plans):
+            tree_report = apply_unlearn(plan, leaf_sink=leaf_sink)
+            if tree_report.variant_switches:
+                # Structure changed: drop this tree's compiled form (rebuilt
+                # lazily) and repack only this tree's slot range in the pack.
+                self._compiled[index] = None
+                if self._packed is not None:
+                    self._packed.repack_tree(index)
+            report.merge(tree_report)
+        if self._packed is not None:
+            # The split statistics changed behind the packed stats mirror.
+            self._packed.mark_stats_stale()
+        self._n_unlearned += 1
+        return report
+
+    def _validate_unlearn_record(self, record: Record) -> None:
         if not isinstance(record, Record):
             raise TypeError(
                 "unlearn expects a Record (encoded values + label); use "
@@ -335,34 +368,64 @@ class HedgeCutClassifier:
                 f"record has {len(record.values)} values, model expects "
                 f"{len(self.schema)}"
             )
-        if self._n_unlearned >= self._deletion_budget and not allow_budget_overrun:
-            raise DeletionBudgetExhausted(
-                f"the deletion budget of {self._deletion_budget} records is "
-                f"exhausted; retrain the model or pass allow_budget_overrun=True"
-            )
-
-        report = UnlearningReport()
-        leaf_sink = self._packed.sync_leaf if self._packed is not None else None
-        for index, tree in enumerate(self._trees):
-            tree_report = unlearn_from_tree(tree.root, record, leaf_sink=leaf_sink)
-            if tree_report.variant_switches:
-                # Structure changed: drop this tree's compiled form (rebuilt
-                # lazily) and repack only this tree's slot range in the pack.
-                self._compiled[index] = None
-                if self._packed is not None:
-                    self._packed.repack_tree(index)
-            report.merge(tree_report)
-        self._n_unlearned += 1
-        return report
 
     def unlearn_batch(
         self, records: Iterable[Record], allow_budget_overrun: bool = False
     ) -> UnlearningReport:
-        """Unlearn several records, aggregating the reports."""
+        """Unlearn a batch of records, aggregating the reports.
+
+        The whole batch is validated against the record shapes and the
+        remaining deletion budget *before* any tree is touched, so a batch
+        that would exhaust the budget raises :class:`DeletionBudgetExhausted`
+        up front instead of leaving the ensemble half-mutated.
+
+        When the packed inference kernel has been built (``self.packed``),
+        the batch is applied by the vectorised level-synchronous kernel of
+        :mod:`repro.core.unlearn_batch` -- one routing pass, scatter-added
+        statistic deltas, one write-back, at most one repack per switched
+        tree -- and is **atomic**: an inconsistent record anywhere in the
+        batch raises with no mutation at all. Without a pack the records
+        are applied by the scalar loop (each record individually atomic,
+        earlier records stay applied if a later one fails). Both paths
+        produce identical end states and identically merged reports for
+        batches that succeed.
+        """
+        self._require_fitted()
+        records = list(records)
+        for record in records:
+            self._validate_unlearn_record(record)
+        remaining = self._deletion_budget - self._n_unlearned
+        if len(records) > remaining and not allow_budget_overrun:
+            raise DeletionBudgetExhausted(
+                f"a batch of {len(records)} deletions exceeds the remaining "
+                f"budget of {max(0, remaining)} records; retrain the model or "
+                f"pass allow_budget_overrun=True"
+            )
+        if not records:
+            return UnlearningReport()
+        if self._packed is not None:
+            return self._unlearn_batch_packed(records)
         total = UnlearningReport()
         for record in records:
-            total.merge(self.unlearn(record, allow_budget_overrun=allow_budget_overrun))
+            total.merge(self.unlearn(record, allow_budget_overrun=True))
         return total
+
+    def _unlearn_batch_packed(self, records: list[Record]) -> UnlearningReport:
+        """Apply one validated batch through the vectorised kernel."""
+        from repro.core.unlearn_batch import unlearn_batch_packed
+
+        assert self._packed is not None
+        values = np.asarray([record.values for record in records], dtype=np.int64)
+        labels = np.asarray([record.label for record in records], dtype=np.int64)
+        result = unlearn_batch_packed(
+            self._packed.unlearn_pack(), values, labels,
+            leaf_sink=self._packed.sync_leaf,
+        )
+        for index in result.switched_trees:
+            self._compiled[index] = None
+            self._packed.repack_tree(index)
+        self._n_unlearned += len(records)
+        return result.report
 
     # ------------------------------------------------------------------ #
     # online learning extension (Section 8 future work)
@@ -387,6 +450,8 @@ class HedgeCutClassifier:
                 self._compiled[index] = None
                 if self._packed is not None:
                     self._packed.repack_tree(index)
+        if self._packed is not None:
+            self._packed.mark_stats_stale()
 
     # ------------------------------------------------------------------ #
     # introspection and persistence

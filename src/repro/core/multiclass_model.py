@@ -394,6 +394,43 @@ class MulticlassHedgeCut:
             raise DeletionBudgetExhausted(
                 f"the deletion budget of {self._deletion_budget} records is exhausted"
             )
+        return self._unlearn_unchecked(record)
+
+    def unlearn_batch(
+        self,
+        records: Sequence[MulticlassRecord],
+        allow_budget_overrun: bool = False,
+    ) -> int:
+        """Unlearn a batch of records; returns the total variant switches.
+
+        Mirrors the binary model's batch semantics: the record labels and
+        the remaining deletion budget are validated for the *whole* batch
+        before any tree is touched, so a batch that would exhaust the
+        budget raises :class:`DeletionBudgetExhausted` with the model
+        unchanged. The multiclass path has no packed kernel (it is the
+        general-case extension, not the fast path), so the records are
+        then applied by the scalar traversal.
+        """
+        self._require_fitted()
+        records = list(records)
+        for record in records:
+            if not 0 <= record.label < self._n_classes:
+                raise UnlearningError(
+                    f"label {record.label} out of range for "
+                    f"{self._n_classes} classes"
+                )
+        remaining = self._deletion_budget - self._n_unlearned
+        if len(records) > remaining and not allow_budget_overrun:
+            raise DeletionBudgetExhausted(
+                f"a batch of {len(records)} deletions exceeds the remaining "
+                f"budget of {max(0, remaining)} records"
+            )
+        switches = 0
+        for record in records:
+            switches += self._unlearn_unchecked(record)
+        return switches
+
+    def _unlearn_unchecked(self, record: MulticlassRecord) -> int:
         switches = 0
         for root in self._roots:
             stack: list[MCNode] = [root]

@@ -170,6 +170,7 @@ class PackedEnsemble:
         self._width = max(feature.n_values for feature in schema)
         self._chunk_rows = chunk_rows
         self._segments = [_emit_segment(root, self._width) for root in self._roots]
+        self._unlearn_pack = None
         self._assemble()
 
     # ------------------------------------------------------------------ #
@@ -246,12 +247,44 @@ class PackedEnsemble:
 
         Only the affected tree is walked again; the other segments are
         spliced back unchanged (their relative offsets are shifted
-        vectorised during reassembly).
+        vectorised during reassembly). The unlearn pack is left alone: it
+        covers *every* variant, so a switch only changes ``active_index``,
+        which its kernel reads live from the node objects.
         """
         if not 0 <= index < len(self._segments):
             raise IndexError(f"tree index {index} out of range")
         self._segments[index] = _emit_segment(self._roots[index], self._width)
         self._assemble()
+
+    # ------------------------------------------------------------------ #
+    # batch-unlearning companion pack
+    # ------------------------------------------------------------------ #
+
+    def unlearn_pack(self):
+        """The lazily built write-path pack (see :mod:`repro.core.unlearn_batch`).
+
+        Built on first use from the same roots/width as the read-path
+        arrays; refreshed (one gather pass over the live objects) when
+        scalar mutations marked its count mirrors stale.
+        """
+        if self._unlearn_pack is None:
+            from repro.core.unlearn_batch import UnlearnPack
+
+            self._unlearn_pack = UnlearnPack(self._roots, self._width)
+        else:
+            self._unlearn_pack.ensure_fresh()
+        return self._unlearn_pack
+
+    def mark_stats_stale(self) -> None:
+        """Flag the unlearn pack's count mirrors after a scalar mutation.
+
+        Scalar unlearning and incremental learning mutate leaf and split
+        statistics object-by-object; instead of write-through (which would
+        tax the scalar hot path), the next batch refreshes the mirrors in
+        one pass. Structure never goes stale, so the pack is kept.
+        """
+        if self._unlearn_pack is not None:
+            self._unlearn_pack.mark_stale()
 
     # ------------------------------------------------------------------ #
     # deep copy / pickling: the id()-keyed leaf index must be rebuilt
@@ -271,6 +304,7 @@ class PackedEnsemble:
         self._width = state["width"]
         self._chunk_rows = state["chunk_rows"]
         self._segments = state["segments"]
+        self._unlearn_pack = None
         self._assemble()
 
     # ------------------------------------------------------------------ #

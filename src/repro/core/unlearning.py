@@ -7,15 +7,26 @@ removal into *every* subtree variant, update every variant's split
 statistics, and re-score -- possibly switching the active variant, which is
 exactly the case where a retrained model would have chosen a different
 split.
+
+The operation is split into two phases so it is **atomic per tree**:
+:func:`plan_unlearn` walks the tree, validates every decrement against the
+current statistics and collects the mutations without applying any of them;
+:func:`apply_unlearn` then performs the collected decrements and re-scores.
+A record that is inconsistent with the tree (already unlearned, never
+trained on) therefore raises from the planning phase and leaves the tree
+bit-for-bit unchanged, instead of aborting mid-traversal with earlier
+decrements already applied. Validation against the *pre-removal* counts is
+exact because a single record visits any leaf or split statistic at most
+once (subtree variants are disjoint object graphs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.exceptions import UnlearningError
-from repro.core.nodes import Leaf, SplitNode, TreeNode
+from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, TreeNode
 from repro.core.splits import SplitStats
 from repro.dataprep.dataset import Record
 
@@ -50,26 +61,103 @@ class UnlearningReport:
         self.variant_switches += other.variant_switches
 
 
-def _remove_from_leaf(leaf: Leaf, record: Record) -> None:
-    if leaf.n <= 0 or (record.label == 1 and leaf.n_plus <= 0):
-        raise UnlearningError(
-            "unlearning would drive a leaf count negative; the record was "
-            "not part of the training data routed to this leaf (or was "
-            "already unlearned)"
-        )
-    leaf.n -= 1
-    if record.label == 1:
-        leaf.n_plus -= 1
+@dataclass
+class UnlearnPlan:
+    """The validated mutations of one record's removal from one tree.
+
+    Produced by :func:`plan_unlearn` without touching the tree; consumed by
+    :func:`apply_unlearn`. ``positive`` is the record's label bit; ``stats``
+    holds ``(stats, goes_left)`` pairs for every split statistic on the
+    record's paths (robust splits and every maintenance variant);
+    ``rescores`` lists the visited maintenance nodes.
+    """
+
+    positive: bool
+    leaves: list[Leaf] = field(default_factory=list)
+    stats: list[tuple[SplitStats, bool]] = field(default_factory=list)
+    rescores: list[MaintenanceNode] = field(default_factory=list)
+    robust_nodes_visited: int = 0
 
 
-def _remove_from_stats(stats: SplitStats, record: Record, goes_left: bool) -> None:
-    positive = record.label == 1
-    if not stats.can_remove(positive, goes_left):
-        raise UnlearningError(
-            "unlearning would drive a split statistic negative; the record "
-            "is inconsistent with the trained split"
-        )
-    stats.remove(positive, goes_left)
+def plan_unlearn(root: TreeNode, record: Record) -> UnlearnPlan:
+    """Validate Algorithm 4 for one tree and collect its mutations.
+
+    Raises:
+        UnlearningError: when any decrement would drive a count negative;
+            the tree is guaranteed untouched in that case.
+    """
+    plan = UnlearnPlan(positive=record.label == 1)
+    stack: list[TreeNode] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            if node.n <= 0 or (plan.positive and node.n_plus <= 0):
+                raise UnlearningError(
+                    "unlearning would drive a leaf count negative; the record "
+                    "was not part of the training data routed to this leaf "
+                    "(or was already unlearned)"
+                )
+            plan.leaves.append(node)
+        elif isinstance(node, SplitNode):
+            plan.robust_nodes_visited += 1
+            goes_left = node.split.goes_left_value(record.values[node.split.feature])
+            if not node.stats.can_remove(plan.positive, goes_left):
+                raise UnlearningError(
+                    "unlearning would drive a split statistic negative; the "
+                    "record is inconsistent with the trained split"
+                )
+            plan.stats.append((node.stats, goes_left))
+            stack.append(node.left if goes_left else node.right)
+        else:
+            for variant in node.variants:
+                goes_left = variant.split.goes_left_value(
+                    record.values[variant.split.feature]
+                )
+                if not variant.stats.can_remove(plan.positive, goes_left):
+                    raise UnlearningError(
+                        "unlearning would drive a split statistic negative; "
+                        "the record is inconsistent with a subtree variant"
+                    )
+                plan.stats.append((variant.stats, goes_left))
+                stack.append(variant.left if goes_left else variant.right)
+            plan.rescores.append(node)
+    return plan
+
+
+def apply_unlearn(plan: UnlearnPlan, leaf_sink: LeafSink | None = None) -> UnlearningReport:
+    """Apply a validated plan; returns the per-tree report.
+
+    Maintenance nodes are re-scored after all of the plan's statistic
+    decrements; each re-score only reads its own variants' statistics, all
+    of which carry exactly this record's decrements by then, so the
+    switches are identical to re-scoring at visit time (as the one-pass
+    traversal used to).
+    """
+    report = UnlearningReport(
+        leaves_updated=len(plan.leaves),
+        robust_nodes_visited=plan.robust_nodes_visited,
+        maintenance_nodes_visited=len(plan.rescores),
+    )
+    positive = plan.positive
+    for leaf in plan.leaves:
+        leaf.n -= 1
+        if positive:
+            leaf.n_plus -= 1
+        if leaf_sink is not None:
+            leaf_sink(leaf)
+    for stats, goes_left in plan.stats:
+        stats.n -= 1
+        if positive:
+            stats.n_plus -= 1
+        if goes_left:
+            stats.n_left -= 1
+            if positive:
+                stats.n_left_plus -= 1
+        stats.invalidate_caches()
+    for node in plan.rescores:
+        if node.rescore():
+            report.variant_switches += 1
+    return report
 
 
 def unlearn_from_tree(
@@ -77,34 +165,9 @@ def unlearn_from_tree(
 ) -> UnlearningReport:
     """Apply Algorithm 4 to one tree; returns the per-tree report.
 
-    The traversal is iterative with an explicit stack because maintenance
-    nodes fan the record out into every variant. When ``leaf_sink`` is
-    given it is called with every decremented leaf, letting derived
-    read-path structures (the packed ensemble) stay in sync without a
-    recompile.
+    Validate-then-apply: a record inconsistent with the tree raises before
+    any statistic is touched. When ``leaf_sink`` is given it is called with
+    every decremented leaf, letting derived read-path structures (the
+    packed ensemble) stay in sync without a recompile.
     """
-    report = UnlearningReport()
-    stack: list[TreeNode] = [root]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, Leaf):
-            _remove_from_leaf(node, record)
-            if leaf_sink is not None:
-                leaf_sink(node)
-            report.leaves_updated += 1
-        elif isinstance(node, SplitNode):
-            report.robust_nodes_visited += 1
-            goes_left = node.split.goes_left_value(record.values[node.split.feature])
-            _remove_from_stats(node.stats, record, goes_left)
-            stack.append(node.left if goes_left else node.right)
-        else:
-            report.maintenance_nodes_visited += 1
-            for variant in node.variants:
-                goes_left = variant.split.goes_left_value(
-                    record.values[variant.split.feature]
-                )
-                _remove_from_stats(variant.stats, record, goes_left)
-                stack.append(variant.left if goes_left else variant.right)
-            if node.rescore():
-                report.variant_switches += 1
-    return report
+    return apply_unlearn(plan_unlearn(root, record), leaf_sink=leaf_sink)

@@ -32,7 +32,7 @@ from repro.persistence.snapshot import (
     load_snapshot,
     save_snapshot,
 )
-from repro.persistence.wal import WriteAheadLog
+from repro.persistence.wal import BatchDeletionRecord, WriteAheadLog
 
 _SNAPSHOT_PATTERN = re.compile(r"snapshot-(\d+)\.npz$")
 
@@ -158,18 +158,38 @@ class ModelStore:
         applied_seq = info.wal_seq
         n_replayed = 0
         n_failures = 0
-        for entry in self.wal.records(after_seq=info.wal_seq):
-            try:
-                model.unlearn(
-                    entry.to_record(),
-                    allow_budget_overrun=entry.allow_budget_overrun,
-                )
-                n_replayed += 1
-            except HedgeCutError:
-                # The original request failed the same deterministic way
-                # after it was logged; replay reproduces that outcome.
-                n_failures += 1
-            applied_seq = entry.seq
+        for frame in self.wal.frames(after_seq=info.wal_seq):
+            if isinstance(frame, BatchDeletionRecord):
+                members = [
+                    member for member in frame.records if member.seq > info.wal_seq
+                ]
+                # Group-committed frames replay through the same
+                # whole-batch-atomic kernel the live path used; building
+                # the pack first guarantees the batched (not the scalar
+                # fallback) semantics, so a batch that failed live fails
+                # identically here with no partial mutation.
+                _ = model.packed
+                try:
+                    model.unlearn_batch(
+                        [member.to_record() for member in members],
+                        allow_budget_overrun=frame.records[0].allow_budget_overrun,
+                    )
+                    n_replayed += len(members)
+                except HedgeCutError:
+                    n_failures += len(members)
+                applied_seq = frame.last_seq
+            else:
+                try:
+                    model.unlearn(
+                        frame.to_record(),
+                        allow_budget_overrun=frame.allow_budget_overrun,
+                    )
+                    n_replayed += 1
+                except HedgeCutError:
+                    # The original request failed the same deterministic way
+                    # after it was logged; replay reproduces that outcome.
+                    n_failures += 1
+                applied_seq = frame.seq
         return RecoveredModel(
             model=model,
             snapshot=info,

@@ -29,7 +29,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence, Union
 
 from repro.core.exceptions import HedgeCutError
 from repro.dataprep.dataset import Record
@@ -84,6 +84,78 @@ class DeletionRecord:
         )
 
 
+@dataclass(frozen=True)
+class BatchDeletionRecord:
+    """One group-committed frame covering a whole batch of deletions.
+
+    The batch shares a single CRC frame and a single flush/fsync (group
+    commit): crash-wise the batch is all-or-nothing, matching the packed
+    kernel's whole-batch-atomic apply. Each member keeps its own sequence
+    number so snapshots, compaction and audit offsets stay per-record.
+    """
+
+    records: tuple[DeletionRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a batch deletion frame needs at least one record")
+
+    @property
+    def first_seq(self) -> int:
+        return self.records[0].seq
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq
+
+    def to_payload(self) -> bytes:
+        body = {
+            "batch": [
+                {
+                    "seq": record.seq,
+                    "values": list(record.values),
+                    "label": record.label,
+                    "request_id": record.request_id,
+                    "allow_budget_overrun": record.allow_budget_overrun,
+                }
+                for record in self.records
+            ]
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "BatchDeletionRecord":
+        body = json.loads(payload.decode("utf-8"))
+        return cls(
+            records=tuple(
+                DeletionRecord(
+                    seq=member["seq"],
+                    values=tuple(member["values"]),
+                    label=member["label"],
+                    request_id=member.get("request_id"),
+                    allow_budget_overrun=member.get("allow_budget_overrun", False),
+                )
+                for member in body["batch"]
+            )
+        )
+
+
+#: One decoded WAL frame: a single deletion or a group-committed batch.
+WalFrame = Union[DeletionRecord, BatchDeletionRecord]
+
+
+def _decode_frame(payload: bytes) -> WalFrame:
+    """Decode one frame payload; batch frames carry a ``batch`` key."""
+    body = json.loads(payload.decode("utf-8"))
+    if "batch" in body:
+        return BatchDeletionRecord.from_payload(payload)
+    return DeletionRecord.from_payload(payload)
+
+
+def _frame_last_seq(frame: WalFrame) -> int:
+    return frame.last_seq if isinstance(frame, BatchDeletionRecord) else frame.seq
+
+
 def _frame(payload: bytes) -> bytes:
     return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
@@ -92,15 +164,16 @@ def _segment_id(path: Path) -> int:
     return int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
 
 
-def _scan_segment(path: Path, final: bool) -> tuple[list[DeletionRecord], int]:
-    """Read one segment; returns ``(records, valid_byte_length)``.
+def _scan_segment(path: Path, final: bool) -> tuple[list[WalFrame], int]:
+    """Read one segment; returns ``(frames, valid_byte_length)``.
 
     For the final segment an invalid frame marks the reclaimable torn tail:
     scanning stops at the last valid frame. For sealed segments an invalid
-    frame is corruption and raises.
+    frame is corruption and raises. Pre-batching segments (every frame a
+    single :class:`DeletionRecord`) decode unchanged.
     """
     data = path.read_bytes()
-    records: list[DeletionRecord] = []
+    frames: list[WalFrame] = []
     offset = 0
     while offset < len(data):
         header_end = offset + _FRAME_HEADER.size
@@ -114,7 +187,7 @@ def _scan_segment(path: Path, final: bool) -> tuple[list[DeletionRecord], int]:
         if zlib.crc32(payload) != crc:
             break
         try:
-            records.append(DeletionRecord.from_payload(payload))
+            frames.append(_decode_frame(payload))
         except (ValueError, KeyError) as error:
             raise WalCorruptionError(
                 f"undecodable WAL record at {path}:{offset}: {error}"
@@ -124,7 +197,7 @@ def _scan_segment(path: Path, final: bool) -> tuple[list[DeletionRecord], int]:
         raise WalCorruptionError(
             f"corrupt frame in sealed WAL segment {path} at byte {offset}"
         )
-    return records, offset
+    return frames, offset
 
 
 class WriteAheadLog:
@@ -155,9 +228,9 @@ class WriteAheadLog:
         last_seq = 0
         for index, segment in enumerate(segments):
             final = index == len(segments) - 1
-            records, valid_length = _scan_segment(segment, final=final)
-            if records:
-                last_seq = records[-1].seq
+            frames, valid_length = _scan_segment(segment, final=final)
+            if frames:
+                last_seq = _frame_last_seq(frames[-1])
             if final and valid_length != segment.stat().st_size:
                 # Reclaim the torn tail left by a crash mid-append.
                 with open(segment, "r+b") as handle:
@@ -211,6 +284,43 @@ class WriteAheadLog:
             self.rotate()
         return entry
 
+    def append_batch(
+        self,
+        records: Sequence[Record],
+        request_ids: Sequence[str | None] | None = None,
+        allow_budget_overrun: bool = False,
+    ) -> BatchDeletionRecord:
+        """Group-commit a whole batch of deletions as one frame.
+
+        The batch costs one frame write, one flush and (in strict mode)
+        one ``fsync`` regardless of its size -- the group-commit half of
+        the batched delete path. Each member still receives its own
+        consecutive sequence number.
+        """
+        if not records:
+            raise ValueError("cannot group-commit an empty batch")
+        if request_ids is not None and len(request_ids) != len(records):
+            raise ValueError("request_ids length does not match the batch")
+        entries = tuple(
+            DeletionRecord(
+                seq=self._next_seq + index,
+                values=tuple(record.values),
+                label=record.label,
+                request_id=request_ids[index] if request_ids is not None else None,
+                allow_budget_overrun=allow_budget_overrun,
+            )
+            for index, record in enumerate(records)
+        )
+        batch = BatchDeletionRecord(records=entries)
+        self._handle.write(_frame(batch.to_payload()))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._next_seq += len(entries)
+        if self._handle.tell() >= self.max_segment_bytes:
+            self.rotate()
+        return batch
+
     def rotate(self) -> Path:
         """Seal the current segment and start the next one."""
         self._handle.close()
@@ -245,15 +355,34 @@ class WriteAheadLog:
             key=_segment_id,
         )
 
-    def records(self, after_seq: int = 0) -> Iterator[DeletionRecord]:
-        """Yield records with ``seq > after_seq`` across all segments, in order."""
+    def frames(self, after_seq: int = 0) -> Iterator[WalFrame]:
+        """Yield frames whose last record has ``seq > after_seq``, in order.
+
+        Batch frames are yielded whole so replay can preserve their
+        all-or-nothing apply semantics; a frame straddling ``after_seq``
+        (possible only if a snapshot were ever cut mid-batch) is still
+        yielded whole and the caller filters by member sequence.
+        """
         self._handle.flush()
         segments = self.segment_paths()
         for index, segment in enumerate(segments):
             entries, _ = _scan_segment(segment, final=index == len(segments) - 1)
             for entry in entries:
-                if entry.seq > after_seq:
+                if _frame_last_seq(entry) > after_seq:
                     yield entry
+
+    def records(self, after_seq: int = 0) -> Iterator[DeletionRecord]:
+        """Yield records with ``seq > after_seq`` across all segments, in order.
+
+        Batch frames are flattened into their member records.
+        """
+        for frame in self.frames(after_seq):
+            if isinstance(frame, BatchDeletionRecord):
+                for member in frame.records:
+                    if member.seq > after_seq:
+                        yield member
+            elif frame.seq > after_seq:
+                yield frame
 
     def compact(self, upto_seq: int) -> list[Path]:
         """Delete sealed segments fully covered by a snapshot at ``upto_seq``.
@@ -268,7 +397,7 @@ class WriteAheadLog:
             if index == len(segments) - 1:
                 break  # never delete the active segment
             entries, _ = _scan_segment(segment, final=False)
-            if entries and entries[-1].seq > upto_seq:
+            if entries and _frame_last_seq(entries[-1]) > upto_seq:
                 break  # segments are ordered; nothing further is coverable
             segment.unlink()
             deleted.append(segment)

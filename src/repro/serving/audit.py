@@ -41,6 +41,10 @@ class AuditEntry:
     variant_switches: int = 0
     error: str | None = None
     log_offset: int | None = None
+    #: Deletions covered by this entry; > 1 for group-committed batches
+    #: (``log_offset`` is then the batch's first sequence number). The
+    #: default keeps entries from pre-batching JSON logs loadable.
+    n_records: int = 1
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -109,6 +113,69 @@ class AuditedUnlearner:
             leaves_updated=report.leaves_updated,
             variant_switches=report.variant_switches,
             log_offset=log_offset,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def unlearn_batch(
+        self,
+        request_id: str,
+        records: list[Record],
+        allow_budget_overrun: bool = False,
+        record_request_ids: list[str] | None = None,
+    ) -> AuditEntry:
+        """Apply one batch of deletions as a single audited operation.
+
+        With a WAL attached the whole batch is group-committed as **one**
+        CRC frame with one flush/fsync before the model is touched;
+        ``record_request_ids`` (optional, one per record) are stored inside
+        the frame so per-record provenance survives in the durable log.
+        The model-side apply goes through the batch kernel
+        (:meth:`HedgeCutClassifier.unlearn_batch` on the packed model), so
+        the batch is all-or-nothing -- matching its all-or-nothing
+        crash-durability -- and the audit entry records the aggregate
+        report under a single ``request_id`` with ``n_records`` members.
+        """
+        if not records:
+            raise ValueError("cannot audit an empty deletion batch")
+        start = time.perf_counter()
+        log_offset = None
+        if self.wal is not None:
+            log_offset = self.wal.append_batch(
+                records,
+                request_ids=record_request_ids,
+                allow_budget_overrun=allow_budget_overrun,
+            ).first_seq
+        # Force the packed form so the apply is the whole-batch-atomic
+        # kernel: live outcome == WAL replay outcome == replica catch-up.
+        _ = self.model.packed
+        try:
+            report = self.model.unlearn_batch(
+                records, allow_budget_overrun=allow_budget_overrun
+            )
+        except HedgeCutError as error:
+            entry = AuditEntry(
+                request_id=request_id,
+                timestamp=time.time(),
+                succeeded=False,
+                latency_us=(time.perf_counter() - start) * 1e6,
+                error=str(error),
+                log_offset=log_offset,
+                n_records=len(records),
+            )
+            self.entries.append(entry)
+            if self.strict:
+                raise
+            return entry
+        entry = AuditEntry(
+            request_id=request_id,
+            timestamp=time.time(),
+            succeeded=True,
+            latency_us=(time.perf_counter() - start) * 1e6,
+            leaves_updated=report.leaves_updated,
+            variant_switches=report.variant_switches,
+            log_offset=log_offset,
+            n_records=len(records),
         )
         self.entries.append(entry)
         return entry

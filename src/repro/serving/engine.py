@@ -49,6 +49,31 @@ class _Replica:
         self.applied_seq = applied_seq
 
 
+class _PendingOp:
+    """One durable deletion operation not yet applied to every replica.
+
+    A single request covers one record; a group-committed batch covers
+    ``len(records)`` with consecutive sequence numbers. Replica catch-up
+    replays the op as a unit so batch atomicity holds on every replica.
+    """
+
+    __slots__ = ("first_seq", "last_seq", "records", "overrun", "batched")
+
+    def __init__(
+        self,
+        first_seq: int,
+        last_seq: int,
+        records: list[Record],
+        overrun: bool,
+        batched: bool,
+    ) -> None:
+        self.first_seq = first_seq
+        self.last_seq = last_seq
+        self.records = records
+        self.overrun = overrun
+        self.batched = batched
+
+
 class ReplicatedServingEngine:
     """Durable multi-replica serving on top of a :class:`ModelStore`.
 
@@ -85,9 +110,9 @@ class ReplicatedServingEngine:
         for _ in range(n_replicas - 1):
             self._replicas.append(_Replica(copy.deepcopy(model), applied_seq))
         self._cursor = itertools.cycle(range(n_replicas))
-        # In-memory tail of durable deletions not yet applied everywhere:
-        # (seq, record, allow_budget_overrun). Pruned once all replicas pass.
-        self._pending: list[tuple[int, Record, bool]] = []
+        # In-memory tail of durable deletion ops not yet applied
+        # everywhere. Pruned once all replicas pass.
+        self._pending: list[_PendingOp] = []
         self._audited = AuditedUnlearner(model=model, wal=store.wal)
 
     # ------------------------------------------------------------------ #
@@ -133,20 +158,32 @@ class ReplicatedServingEngine:
         return [self.durable_seq - replica.applied_seq for replica in self._replicas]
 
     def _catch_up(self, replica: _Replica, target_seq: int) -> None:
-        for seq, record, overrun in self._pending:
-            if seq <= replica.applied_seq or seq > target_seq:
+        for op in self._pending:
+            if op.last_seq <= replica.applied_seq or op.last_seq > target_seq:
                 continue
             try:
-                replica.model.unlearn(record, allow_budget_overrun=overrun)
+                if op.batched:
+                    # Replay the batch through the same whole-batch-atomic
+                    # kernel the primary used (forcing the packed form), so
+                    # a batch either lands fully on this replica or not at
+                    # all -- identical to the primary's outcome.
+                    _ = replica.model.packed
+                    replica.model.unlearn_batch(
+                        op.records, allow_budget_overrun=op.overrun
+                    )
+                else:
+                    replica.model.unlearn(
+                        op.records[0], allow_budget_overrun=op.overrun
+                    )
             except Exception:
-                # The primary rejected this record too (deterministic
+                # The primary rejected this op too (deterministic
                 # failure); replicas must mirror that outcome, not crash.
                 pass
-            replica.applied_seq = seq
+            replica.applied_seq = op.last_seq
 
     def _prune_pending(self) -> None:
         floor = min(replica.applied_seq for replica in self._replicas)
-        self._pending = [entry for entry in self._pending if entry[0] > floor]
+        self._pending = [op for op in self._pending if op.last_seq > floor]
 
     def sync(self) -> None:
         """Catch every replica up to the durable tail (eventual mode's flush)."""
@@ -204,7 +241,56 @@ class ReplicatedServingEngine:
         primary = self._replicas[0]
         if entry.log_offset is not None:
             primary.applied_seq = entry.log_offset
-            self._pending.append((entry.log_offset, record, allow_budget_overrun))
+            self._pending.append(
+                _PendingOp(
+                    first_seq=entry.log_offset,
+                    last_seq=entry.log_offset,
+                    records=[record],
+                    overrun=allow_budget_overrun,
+                    batched=False,
+                )
+            )
+        if self.consistency == "strong":
+            for replica in self._replicas[1:]:
+                self._catch_up(replica, primary.applied_seq)
+            self._prune_pending()
+        return entry
+
+    def unlearn_batch(
+        self,
+        request_id: str,
+        records: list[Record],
+        allow_budget_overrun: bool = False,
+        record_request_ids: list[str] | None = None,
+    ) -> AuditEntry:
+        """Serve one batch of deletion requests as a single durable op.
+
+        The whole batch becomes **one** group-committed WAL frame (one
+        flush/fsync instead of one per record -- the durability half of
+        the batched delete path) and one pass of the vectorised
+        batch-unlearning kernel on the primary. Propagation to the other
+        replicas follows the consistency mode, replaying the batch as an
+        atomic unit.
+        """
+        entry = self._audited.unlearn_batch(
+            request_id,
+            records,
+            allow_budget_overrun=allow_budget_overrun,
+            record_request_ids=record_request_ids,
+        )
+        primary = self._replicas[0]
+        if entry.log_offset is not None:
+            last_seq = entry.log_offset + len(records) - 1
+            primary.applied_seq = last_seq
+            self._pending.append(
+                _PendingOp(
+                    first_seq=entry.log_offset,
+                    last_seq=last_seq,
+                    records=list(records),
+                    overrun=allow_budget_overrun,
+                    batched=True,
+                )
+            )
         if self.consistency == "strong":
             for replica in self._replicas[1:]:
                 self._catch_up(replica, primary.applied_seq)

@@ -93,6 +93,46 @@ class TestErrors:
         with pytest.raises(UnlearningError):
             unlearn_from_tree(leaf, Record(values=(0,), label=1))
 
+    @pytest.mark.parametrize("overrides", [{"robustness_mode": "off"}, {"epsilon": 0.05}])
+    def test_failed_unlearn_leaves_tree_unchanged(self, overrides):
+        # Regression: the old one-pass traversal aborted mid-walk, leaving
+        # the decrements of already-visited nodes applied. Validate-then-
+        # apply must leave the tree bit-for-bit untouched on failure.
+        dataset, tree = fresh_tree(seed=4, **overrides)
+        record = dataset.record(0)
+        while True:
+            snapshot = _tree_state(tree.root)
+            try:
+                unlearn_from_tree(tree.root, record)
+            except UnlearningError:
+                break
+        assert _tree_state(tree.root) == snapshot
+
+
+def _tree_state(root):
+    """Every mutable count (and active variant) of a tree, in DFS order."""
+    state = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            state.append(("leaf", node.n, node.n_plus))
+        elif isinstance(node, SplitNode):
+            stats = node.stats
+            state.append(
+                ("split", stats.n, stats.n_plus, stats.n_left, stats.n_left_plus)
+            )
+            stack.extend((node.left, node.right))
+        else:
+            state.append(("maintenance", node.active_index))
+            for variant in node.variants:
+                stats = variant.stats
+                state.append(
+                    ("variant", stats.n, stats.n_plus, stats.n_left, stats.n_left_plus)
+                )
+                stack.extend((variant.left, variant.right))
+    return state
+
 
 class TestReports:
     def test_report_merge_accumulates(self):

@@ -127,6 +127,106 @@ class TestCrashRecovery:
             ModelStore(tmp_path / "empty").recover()
 
 
+def _crash_after_batched_campaign(store_dir, model, dataset, ops, snapshot_after=0):
+    """Like :func:`_crash_after_k_deletions`, but mixing single-record
+    frames with group-committed batch frames. ``ops`` is a list of
+    row-index lists: singletons take the single-record path, everything
+    else one ``append_batch`` frame plus one batch-kernel apply.
+    """
+    work = copy.deepcopy(model)
+    with ModelStore(store_dir) as store:
+        store.save_snapshot(work, wal_seq=0)
+        for index, rows in enumerate(ops):
+            records = [dataset.record(row) for row in rows]
+            if len(records) == 1:
+                store.wal.append(
+                    records[0], request_id=f"req-{index}", allow_budget_overrun=True
+                )
+                work.unlearn(records[0], allow_budget_overrun=True)
+            else:
+                store.wal.append_batch(
+                    records,
+                    request_ids=[f"req-{index}-{i}" for i in range(len(records))],
+                    allow_budget_overrun=True,
+                )
+                _ = work.packed  # live apply goes through the batch kernel
+                work.unlearn_batch(records, allow_budget_overrun=True)
+            if snapshot_after and index + 1 == snapshot_after:
+                store.save_snapshot(work, wal_seq=store.wal.last_seq)
+
+
+def _apply_campaign_live(model, dataset, ops):
+    applied = copy.deepcopy(model)
+    for rows in ops:
+        records = [dataset.record(row) for row in rows]
+        if len(records) == 1:
+            applied.unlearn(records[0], allow_budget_overrun=True)
+        else:
+            _ = applied.packed
+            applied.unlearn_batch(records, allow_budget_overrun=True)
+    return applied
+
+
+class TestBatchFrameRecovery:
+    """Replaying group-committed batch frames matches live application."""
+
+    def test_recovered_matches_live_batched_application(self, tmp_path, noisy_setup):
+        model, dataset = noisy_setup
+        ops = [[0], list(range(1, 9)), [9], list(range(10, 14))]
+        _crash_after_batched_campaign(tmp_path / "store", model, dataset, ops)
+
+        uninterrupted = _apply_campaign_live(model, dataset, ops)
+
+        recovered = ModelStore(tmp_path / "store").recover()
+        assert recovered.n_replayed == 14
+        assert recovered.wal_seq == 14
+        assert recovered.model.n_unlearned == uninterrupted.n_unlearned
+        assert np.array_equal(
+            recovered.model.predict_batch(dataset),
+            uninterrupted.predict_batch(dataset),
+        )
+
+    def test_snapshot_between_batches_replays_only_the_tail(
+        self, tmp_path, noisy_setup
+    ):
+        model, dataset = noisy_setup
+        ops = [list(range(0, 6)), [6], list(range(7, 12))]
+        _crash_after_batched_campaign(
+            tmp_path / "store", model, dataset, ops, snapshot_after=1
+        )
+
+        uninterrupted = _apply_campaign_live(model, dataset, ops)
+
+        recovered = ModelStore(tmp_path / "store").recover()
+        # The snapshot at seq 6 absorbs the first batch; replay covers the
+        # single at seq 7 plus the five-record batch frame behind it.
+        assert recovered.snapshot is not None
+        assert recovered.snapshot.wal_seq == 6
+        assert recovered.n_replayed == 6
+        assert recovered.wal_seq == 12
+        assert np.array_equal(
+            recovered.model.predict_batch(dataset),
+            uninterrupted.predict_batch(dataset),
+        )
+
+    def test_recovery_continues_batching_identically(self, tmp_path, noisy_setup):
+        """Recover past a batch frame, then keep unlearning in batches."""
+        model, dataset = noisy_setup
+        ops = [list(range(0, 5))]
+        _crash_after_batched_campaign(tmp_path / "store", model, dataset, ops)
+
+        uninterrupted = _apply_campaign_live(model, dataset, ops)
+        recovered = ModelStore(tmp_path / "store").recover().model
+
+        tail = [dataset.record(row) for row in range(5, 12)]
+        for side in (uninterrupted, recovered):
+            _ = side.packed
+            side.unlearn_batch(tail, allow_budget_overrun=True)
+        assert np.array_equal(
+            recovered.predict_batch(dataset), uninterrupted.predict_batch(dataset)
+        )
+
+
 class TestSnapshotHousekeeping:
     def test_snapshots_are_pruned(self, tmp_path, noisy_setup):
         model, dataset = noisy_setup

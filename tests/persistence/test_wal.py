@@ -3,7 +3,12 @@
 import pytest
 
 from repro.dataprep.dataset import Record
-from repro.persistence.wal import DeletionRecord, WalCorruptionError, WriteAheadLog
+from repro.persistence.wal import (
+    BatchDeletionRecord,
+    DeletionRecord,
+    WalCorruptionError,
+    WriteAheadLog,
+)
 
 
 def _record(seed: int) -> Record:
@@ -48,6 +53,86 @@ class TestFraming:
             seq=7, values=(1, 2, 3), label=1, request_id="r", allow_budget_overrun=True
         )
         assert DeletionRecord.from_payload(entry.to_payload()) == entry
+
+
+class TestBatchFrames:
+    def test_append_batch_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            batch = wal.append_batch(
+                [_record(i) for i in range(4)],
+                request_ids=[f"req-{i}" for i in range(4)],
+            )
+            assert [entry.seq for entry in batch.records] == [1, 2, 3, 4]
+            (frame,) = list(wal.frames())
+        assert isinstance(frame, BatchDeletionRecord)
+        assert frame == batch
+        assert frame.records[2].request_id == "req-2"
+        assert frame.records[2].to_record() == _record(2)
+
+    def test_records_flattens_batches_in_order(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append_batch([_record(1), _record(2)])
+            wal.append(_record(3))
+            assert [e.seq for e in wal.records()] == [1, 2, 3, 4]
+            assert [e.seq for e in wal.records(after_seq=2)] == [3, 4]
+
+    def test_straddling_batch_yields_whole_frame(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append_batch([_record(1), _record(2), _record(3)])
+            (frame,) = list(wal.frames(after_seq=2))
+            # Replay sees the whole frame (atomicity) ...
+            assert (frame.first_seq, frame.last_seq) == (2, 4)
+            # ... while the flattened view filters covered members.
+            assert [e.seq for e in wal.records(after_seq=2)] == [3, 4]
+
+    def test_torn_batch_frame_vanishes_whole(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(_record(0))
+            wal.append_batch([_record(1), _record(2), _record(3)])
+            (segment,) = wal.segment_paths()
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the group-committed frame's tail
+        segment.write_bytes(bytes(data))
+        with WriteAheadLog(tmp_path) as wal:
+            # Crash-wise the batch is all-or-nothing: no partial batch.
+            assert [e.seq for e in wal.records()] == [1]
+            assert wal.append(_record(4)).seq == 2
+
+    def test_sequence_survives_reopen_after_batch(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append_batch([_record(0), _record(1), _record(2)])
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.append(_record(3)).seq == 4
+
+    def test_overrun_flag_applies_to_every_member(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append_batch([_record(0), _record(1)], allow_budget_overrun=True)
+            assert all(e.allow_budget_overrun for e in wal.records())
+
+    def test_rejects_empty_batch_and_mismatched_ids(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            with pytest.raises(ValueError):
+                wal.append_batch([])
+            with pytest.raises(ValueError):
+                wal.append_batch([_record(0)], request_ids=["a", "b"])
+            assert wal.last_seq == 0
+
+    def test_batch_payload_roundtrip_is_exact(self):
+        batch = BatchDeletionRecord(
+            records=(
+                DeletionRecord(seq=3, values=(1, 2), label=0, request_id="a"),
+                DeletionRecord(
+                    seq=4, values=(2, 1), label=1, allow_budget_overrun=True
+                ),
+            )
+        )
+        assert BatchDeletionRecord.from_payload(batch.to_payload()) == batch
+
+    def test_empty_batch_record_rejected(self):
+        with pytest.raises(ValueError):
+            BatchDeletionRecord(records=())
 
 
 class TestCrashTolerance:

@@ -138,6 +138,85 @@ class TestAuditTrail:
         assert entry.log_offset == budget + 1  # logged before it failed
 
 
+class TestBatchUnlearning:
+    def test_batch_reaches_every_replica_atomically(self, tmp_path, model, dataset):
+        reference = copy.deepcopy(model)
+        engine = _engine(tmp_path, model, n_replicas=3, consistency="strong")
+        records = [dataset.record(row) for row in range(8)]
+        entry = engine.unlearn_batch(
+            "req-batch",
+            records,
+            allow_budget_overrun=True,
+            record_request_ids=[f"req-{row}" for row in range(8)],
+        )
+        assert entry.succeeded
+        assert entry.n_records == 8
+        assert entry.log_offset == 1  # the batch's first durable seq
+        assert engine.durable_seq == 8
+        assert engine.staleness() == [0, 0, 0]
+        _ = reference.packed
+        reference.unlearn_batch(records, allow_budget_overrun=True)
+        expected = reference.predict_batch(dataset)
+        for _ in range(3):
+            assert np.array_equal(engine.predict_batch(dataset), expected)
+
+    def test_batch_is_one_wal_frame(self, tmp_path, model, dataset):
+        engine = _engine(tmp_path, model)
+        engine.unlearn_batch(
+            "req-batch",
+            [dataset.record(row) for row in range(5)],
+            allow_budget_overrun=True,
+        )
+        frames = list(engine.store.wal.frames())
+        assert len(frames) == 1  # group commit: one frame for the batch
+        assert (frames[0].first_seq, frames[0].last_seq) == (1, 5)
+
+    def test_eventual_batch_staleness_then_sync(self, tmp_path, model, dataset):
+        engine = _engine(tmp_path, model, n_replicas=2, consistency="eventual")
+        records = [dataset.record(row) for row in range(5)]
+        engine.unlearn_batch("req-batch", records, allow_budget_overrun=True)
+        assert engine.staleness() == [0, 5]
+        engine.sync()
+        assert engine.staleness() == [0, 0]
+        expected = engine.primary.predict_batch(dataset)
+        for _ in range(2):
+            assert np.array_equal(engine.predict_batch(dataset), expected)
+
+    def test_batch_and_single_offsets_interleave(self, tmp_path, model, dataset):
+        engine = _engine(tmp_path, model, n_replicas=2)
+        first = engine.unlearn("req-0", dataset.record(0), allow_budget_overrun=True)
+        batch = engine.unlearn_batch(
+            "req-batch",
+            [dataset.record(1), dataset.record(2), dataset.record(3)],
+            allow_budget_overrun=True,
+        )
+        last = engine.unlearn("req-4", dataset.record(4), allow_budget_overrun=True)
+        assert (first.log_offset, batch.log_offset, last.log_offset) == (1, 2, 5)
+        assert batch.n_records == 3
+        assert engine.staleness() == [0, 0]
+
+    def test_recover_after_kill_with_batch_frames(self, tmp_path, model, dataset):
+        reference = copy.deepcopy(model)
+        engine = _engine(tmp_path, model, n_replicas=2)
+        engine.snapshot()
+        engine.unlearn("req-0", dataset.record(0), allow_budget_overrun=True)
+        records = [dataset.record(row) for row in range(1, 9)]
+        engine.unlearn_batch("req-batch", records, allow_budget_overrun=True)
+        engine.close()  # crash: no final snapshot
+
+        reference.unlearn(dataset.record(0), allow_budget_overrun=True)
+        _ = reference.packed
+        reference.unlearn_batch(records, allow_budget_overrun=True)
+
+        recovered = ReplicatedServingEngine.recover(
+            ModelStore(tmp_path / "store"), n_replicas=2
+        )
+        assert recovered.staleness() == [0, 0]
+        assert np.array_equal(
+            recovered.predict_batch(dataset), reference.predict_batch(dataset)
+        )
+
+
 class TestCrashRecovery:
     def test_recover_after_kill(self, tmp_path, model, dataset):
         reference = copy.deepcopy(model)

@@ -1,5 +1,7 @@
 """Tests for the micro-batching front end of the replicated engine."""
 
+import copy
+
 import numpy as np
 import pytest
 
@@ -115,6 +117,122 @@ class TestCorrectness:
         by_record = batcher.submit_predict(record)
         by_values = batcher.submit_predict(record.values)
         assert by_record.result() == by_values.result()
+
+
+class TestUnlearnCoalescing:
+    def test_full_window_group_commits_once(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=3)
+        handles = [
+            batcher.submit_unlearn(
+                f"req-{row}", dataset.record(row), allow_budget_overrun=True
+            )
+            for row in range(3)
+        ]
+        assert all(handle.done for handle in handles)
+        entry = handles[0].result()
+        assert entry.succeeded
+        assert entry.n_records == 3
+        # Every member of the coalesced batch shares one audit entry.
+        assert all(handle.result() is entry for handle in handles)
+        # One group-committed WAL frame covering three sequence numbers.
+        frames = list(engine.store.wal.frames())
+        assert len(frames) == 1
+        assert engine.durable_seq == 3
+        assert batcher.stats.n_unlearn_batches == 1
+        assert batcher.stats.unlearn_batch_sizes == [3]
+        assert batcher.stats.flush_reasons[FLUSH_FULL] == 1
+
+    def test_window_expiry_dispatches_unlearns(self, engine, dataset):
+        clock = FakeClock()
+        batcher = _batcher(engine, max_batch=100, max_delay_ms=2.0, clock=clock)
+        first = batcher.submit_unlearn(
+            "req-0", dataset.record(0), allow_budget_overrun=True
+        )
+        assert not first.done
+        clock.advance(0.0025)  # 2.5 ms > the 2 ms window
+        second = batcher.submit_unlearn(
+            "req-1", dataset.record(1), allow_budget_overrun=True
+        )
+        assert first.done and second.done
+        assert batcher.stats.flush_reasons[FLUSH_WINDOW] == 1
+        assert batcher.stats.mean_unlearn_batch_size == 2.0
+
+    def test_result_forces_group_commit(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=100)
+        handle = batcher.submit_unlearn(
+            "req-0", dataset.record(0), allow_budget_overrun=True
+        )
+        assert not handle.done
+        entry = handle.result()
+        assert entry.succeeded and entry.n_records == 1
+        assert batcher.stats.flush_reasons[FLUSH_FORCED] == 1
+
+    def test_predictions_before_deletion_never_observe_it(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=100)
+        before = engine.primary.predict_batch(dataset.take(np.arange(5)))
+        handles = [batcher.submit_predict(dataset.record(row)) for row in range(5)]
+        batcher.submit_unlearn("req-0", dataset.record(0), allow_budget_overrun=True)
+        # The deletion arrival flushed the prediction queue first; the
+        # deletion itself is still coalescing.
+        assert all(handle.done for handle in handles)
+        assert batcher.n_queued_unlearns == 1
+        assert [handle.result() for handle in handles] == before.tolist()
+
+    def test_prediction_after_deletion_observes_it(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=100)
+        handle = batcher.submit_unlearn(
+            "req-0", dataset.record(0), allow_budget_overrun=True
+        )
+        prediction = batcher.submit_predict(dataset.record(0))
+        # The prediction arrival flushed the queued deletion first.
+        assert handle.done
+        assert batcher.n_queued_unlearns == 0
+        assert prediction.result() == engine.primary.predict(dataset.record(0))
+
+    def test_overrun_flag_change_closes_window(self, engine, dataset):
+        batcher = _batcher(engine, max_batch=100)
+        first = batcher.submit_unlearn(
+            "req-0", dataset.record(0), allow_budget_overrun=True
+        )
+        second = batcher.submit_unlearn("req-1", dataset.record(1))
+        # One WAL frame carries one flag: the flag flip dispatched the
+        # open window and started a fresh one.
+        assert first.done and not second.done
+        assert first.result().n_records == 1
+        assert batcher.n_queued_unlearns == 1
+
+    def test_synchronous_unlearn_flushes_queued_deletions_first(
+        self, engine, dataset
+    ):
+        batcher = _batcher(engine, max_batch=100)
+        queued = batcher.submit_unlearn(
+            "req-0", dataset.record(0), allow_budget_overrun=True
+        )
+        entry = batcher.unlearn("req-1", dataset.record(1), allow_budget_overrun=True)
+        assert queued.done
+        assert queued.result().log_offset == 1
+        assert entry.log_offset == 2  # queued deletion landed first
+
+    def test_coalesced_deletions_match_direct_batch(self, tmp_path, model, dataset):
+        reference = copy.deepcopy(model)
+        engine = ReplicatedServingEngine(
+            model, ModelStore(tmp_path / "store"), n_replicas=2
+        )
+        batcher = _batcher(engine, max_batch=4)
+        for row in range(8):
+            batcher.submit_unlearn(
+                f"req-{row}", dataset.record(row), allow_budget_overrun=True
+            )
+        batcher.flush_unlearns()
+        _ = reference.packed
+        reference.unlearn_batch(
+            [dataset.record(row) for row in range(8)], allow_budget_overrun=True
+        )
+        assert batcher.stats.n_unlearn_requests == 8
+        assert batcher.stats.unlearn_batch_sizes == [4, 4]
+        expected = reference.predict_batch(dataset)
+        for _ in range(2):
+            assert np.array_equal(engine.predict_batch(dataset), expected)
 
 
 class TestStats:

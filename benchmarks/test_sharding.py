@@ -1,0 +1,84 @@
+"""Benchmark: SISA sharding vs the unsharded model on a deletion campaign.
+
+Guards the sharded service's two load-bearing properties at smoke scale:
+the K=1 model stays bit-identical to the unsharded classifier, and
+routing a deletion campaign across K=4 shards (constant total tree
+budget) must not regress below the unsharded campaign's wall time. The
+full artefact with deletions/second and predict percentiles per K lives
+in ``BENCH_sharding.json`` (``make bench-sharding``); the correctness
+suite is ``tests/sharding/``.
+"""
+
+import copy
+import time
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import load_dataset
+from repro.evaluation.splits import train_test_split
+from repro.sharding.model import ShardedHedgeCut
+
+
+def _warm_copy(model):
+    work = copy.deepcopy(model)
+    for shard in work.shards:
+        shard.packed.unlearn_pack()
+    return work
+
+
+def test_sharded_deletions_beat_unsharded_campaign(benchmark, record_table):
+    data = load_dataset("credit", n_rows=6000, seed=11)
+    train, test = train_test_split(data, test_fraction=0.2, seed=11)
+    records = [train.record(row) for row in range(128)]
+
+    unsharded = ShardedHedgeCut(n_shards=1, n_trees=4, epsilon=0.05, seed=11).fit(
+        train
+    )
+    sharded = ShardedHedgeCut(n_shards=4, n_trees=4, epsilon=0.05, seed=11).fit(
+        train
+    )
+
+    # K=1 bit-identity against the plain classifier, same seed and budget.
+    base = HedgeCutClassifier(n_trees=4, epsilon=0.05, seed=11).fit(train)
+    matrix = test.feature_matrix()
+    assert np.array_equal(
+        base.predict_proba_rows(matrix), unsharded.predict_proba_rows(matrix)
+    )
+
+    # Best-of-3 on both sides: a single-shot measurement is too exposed to
+    # scheduler noise on the shared container when the whole benchmark
+    # session runs back to back.
+    unsharded_s = float("inf")
+    for _ in range(3):
+        work = _warm_copy(unsharded)
+        start = time.perf_counter()
+        work.unlearn_batch(records, allow_budget_overrun=True)
+        unsharded_s = min(unsharded_s, time.perf_counter() - start)
+
+    sharded_times = []
+
+    def run_sharded():
+        work = _warm_copy(sharded)
+        begin = time.perf_counter()
+        work.unlearn_batch(records, allow_budget_overrun=True)
+        sharded_times.append(time.perf_counter() - begin)
+
+    benchmark.pedantic(run_sharded, rounds=3, iterations=1)
+    sharded_s = min(sharded_times)
+
+    record_table(
+        "SISA sharding (smoke)",
+        "\n".join(
+            [
+                f"{'model':<12} {'deletions/s':>12}",
+                f"{'K=1':<12} {len(records) / unsharded_s:>12.0f}",
+                f"{'K=4':<12} {len(records) / sharded_s:>12.0f}",
+            ]
+        ),
+    )
+
+    # The 2x bar is enforced by the full benchmark; at smoke scale the
+    # routed campaign must simply not lose to the unsharded one (generous
+    # headroom against timer noise; the real margin at scale is >2x).
+    assert sharded_s < 1.2 * unsharded_s

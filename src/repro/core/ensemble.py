@@ -276,6 +276,16 @@ class HedgeCutClassifier:
         self._require_fitted()
         return self.packed.predict_proba_rows(values)
 
+    def predict_votes_rows(self, values: np.ndarray) -> np.ndarray:
+        """Positive hard-vote counts per row (the sharded aggregation input).
+
+        ``predict_rows`` equals ``2 * predict_votes_rows(values) > n_trees``;
+        exposing the raw counts lets an ensemble-of-ensembles sum them
+        across shards and apply the majority threshold once, globally.
+        """
+        self._require_fitted()
+        return self.packed.predict_votes_rows(values)
+
     def predict_batch_legacy(self, dataset: Dataset) -> np.ndarray:
         """Pre-pack reference batch path: walk the ``T`` compiled trees.
 

@@ -384,6 +384,19 @@ class PackedEnsemble:
         votes = (2 * self.leaf_n_plus[leaves] > self.leaf_n[leaves]).sum(axis=1)
         return (2 * votes > self.n_trees).astype(np.uint8)
 
+    def predict_votes_rows(self, values: np.ndarray) -> np.ndarray:
+        """Per-row positive hard-vote counts for a code matrix.
+
+        Returns the number of trees voting for the positive class per row
+        (``int64``), without applying the majority threshold. This is the
+        aggregation primitive of the sharded ensemble: vote counts from
+        independent sub-ensembles add, so ``2 * sum(votes) > total_trees``
+        reproduces the single-model majority rule exactly.
+        """
+        matrix = self._as_matrix(values)
+        leaves = self._leaf_matrix(matrix)
+        return (2 * self.leaf_n_plus[leaves] > self.leaf_n[leaves]).sum(axis=1)
+
     def predict_proba_rows(self, values: np.ndarray) -> np.ndarray:
         """Soft-vote positive-class probabilities for a code matrix.
 

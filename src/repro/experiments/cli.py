@@ -117,12 +117,69 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig], str]] = {
 }
 
 
+def _run_sharded_snapshot(config: ExperimentConfig, store_path: str) -> str:
+    """Train a sharded model on the first dataset and snapshot every shard."""
+    from repro.datasets.registry import load_dataset
+    from repro.sharding.model import ShardedHedgeCut
+    from repro.sharding.store import ShardedModelStore
+
+    name = config.datasets[0]
+    dataset = load_dataset(name, n_rows=config.rows_for(name), seed=config.seed)
+    model = ShardedHedgeCut(
+        n_shards=config.shards,
+        n_trees=config.n_trees,
+        epsilon=config.epsilon,
+        max_tries_per_split=config.max_tries_per_split,
+        trainer=config.trainer,
+        seed=config.seed,
+    ).fit(dataset)
+    with ShardedModelStore(store_path, n_shards=config.shards) as store:
+        infos = store.save_snapshots(model)
+    stats = model.partition_stats
+    lines = [
+        f"sharded snapshots written: {store_path} ({config.shards} shards)",
+        f"  dataset          {name} ({dataset.n_rows} rows)",
+        f"  trees            {model.n_trees} total "
+        f"({model.n_trees // config.shards} per shard)",
+        f"  partition        sizes {stats.shard_sizes} "
+        f"(imbalance {stats.imbalance:.3f})",
+    ]
+    for shard_id, info in enumerate(infos):
+        lines.append(
+            f"  shard {shard_id:<4}      {info.n_nodes} nodes, "
+            f"{info.size_bytes} bytes, sha256:{info.checksum[:12]}…"
+        )
+    return "\n".join(lines)
+
+
+def _run_sharded_recover(store_path: str) -> str:
+    """Recover a sharded service from its per-shard snapshots + WAL tails."""
+    from repro.sharding.store import ShardedModelStore
+
+    with ShardedModelStore(store_path) as store:
+        recovered = store.recover()
+    model = recovered.model
+    lines = [
+        f"recovered sharded service from: {store_path}",
+        f"  shards           {model.n_shards}",
+        f"  trees            {model.n_trees} total",
+        f"  trained on       {model.n_trained_on} rows",
+        f"  unlearned        {model.n_unlearned}",
+        f"  wal seqs         {recovered.wal_seqs} "
+        f"({recovered.n_replayed} replayed, "
+        f"{recovered.n_replay_failures} replay failures)",
+    ]
+    return "\n".join(lines)
+
+
 def _run_snapshot(config: ExperimentConfig, store_path: str) -> str:
     """Train a model on the first configured dataset and snapshot it."""
     from repro.core.ensemble import HedgeCutClassifier
     from repro.datasets.registry import load_dataset
     from repro.persistence.store import ModelStore
 
+    if config.shards > 1:
+        return _run_sharded_snapshot(config, store_path)
     name = config.datasets[0]
     dataset = load_dataset(name, n_rows=config.rows_for(name), seed=config.seed)
     model = HedgeCutClassifier(
@@ -150,9 +207,16 @@ def _run_snapshot(config: ExperimentConfig, store_path: str) -> str:
 
 
 def _run_recover(store_path: str) -> str:
-    """Recover the latest state from a model store and summarise it."""
-    from repro.persistence.store import ModelStore
+    """Recover the latest state from a model store and summarise it.
 
+    Sharded stores are detected by their manifest, so ``recover`` needs no
+    ``--shards`` flag: the routing is part of the durable state.
+    """
+    from repro.persistence.store import ModelStore
+    from repro.sharding.store import ShardedModelStore
+
+    if ShardedModelStore.exists(store_path):
+        return _run_sharded_recover(store_path)
     with ModelStore(store_path) as store:
         recovered = store.recover()
     model = recovered.model
@@ -219,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="hedgecut-store",
         help="model-store directory for the snapshot/recover commands",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="SISA shard count for the snapshot command (1 = unsharded; "
+        "recover detects shardedness from the store manifest)",
+    )
     return parser
 
 
@@ -231,6 +302,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         datasets=tuple(args.datasets) if args.datasets else available_datasets(),
         trainer=args.trainer,
+        shards=args.shards,
     )
     if args.experiment in COMMANDS:
         print(f"== {args.experiment} ==", flush=True)

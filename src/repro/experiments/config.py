@@ -31,6 +31,10 @@ class ExperimentConfig:
             (level-synchronous histogram trainer). The learned model
             distribution is the same either way; "frontier" changes only
             the training wall-clock.
+        shards: SISA shard count for the operational commands; ``1`` keeps
+            the unsharded model, larger values train a
+            :class:`~repro.sharding.model.ShardedHedgeCut` (``n_trees``
+            must divide evenly across the shards).
     """
 
     scale: float = 0.02
@@ -41,6 +45,7 @@ class ExperimentConfig:
     epsilon: float = 0.001
     max_tries_per_split: int = 5
     trainer: str = "recursive"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -54,6 +59,13 @@ class ExperimentConfig:
             raise ValueError(f"unknown datasets: {sorted(unknown)}")
         if self.trainer not in ("recursive", "frontier"):
             raise ValueError(f"unsupported trainer {self.trainer!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.n_trees % self.shards != 0:
+            raise ValueError(
+                f"n_trees ({self.n_trees}) must be divisible by shards "
+                f"({self.shards})"
+            )
 
     def rows_for(self, dataset_name: str) -> int:
         """Scaled row count of one dataset, bounded below by ``MIN_ROWS``."""

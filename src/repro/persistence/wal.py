@@ -50,13 +50,20 @@ class WalCorruptionError(HedgeCutError):
 
 @dataclass(frozen=True)
 class DeletionRecord:
-    """One durable unlearning request."""
+    """One durable unlearning request.
+
+    ``shard_id`` tags the request with the owning shard of a sharded
+    deployment (``None`` for unsharded stores): a deletion can then be
+    traced end-to-end -- request id, shard, WAL offset -- through the
+    sharded service. Pre-sharding log segments decode with ``None``.
+    """
 
     seq: int
     values: tuple[int, ...]
     label: int
     request_id: str | None = None
     allow_budget_overrun: bool = False
+    shard_id: int | None = None
 
     def to_record(self) -> Record:
         """The encoded training record this deletion refers to."""
@@ -70,6 +77,8 @@ class DeletionRecord:
             "request_id": self.request_id,
             "allow_budget_overrun": self.allow_budget_overrun,
         }
+        if self.shard_id is not None:
+            body["shard_id"] = self.shard_id
         return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -81,6 +90,7 @@ class DeletionRecord:
             label=body["label"],
             request_id=body.get("request_id"),
             allow_budget_overrun=body.get("allow_budget_overrun", False),
+            shard_id=body.get("shard_id"),
         )
 
 
@@ -109,18 +119,19 @@ class BatchDeletionRecord:
         return self.records[-1].seq
 
     def to_payload(self) -> bytes:
-        body = {
-            "batch": [
-                {
-                    "seq": record.seq,
-                    "values": list(record.values),
-                    "label": record.label,
-                    "request_id": record.request_id,
-                    "allow_budget_overrun": record.allow_budget_overrun,
-                }
-                for record in self.records
-            ]
-        }
+        members = []
+        for record in self.records:
+            member = {
+                "seq": record.seq,
+                "values": list(record.values),
+                "label": record.label,
+                "request_id": record.request_id,
+                "allow_budget_overrun": record.allow_budget_overrun,
+            }
+            if record.shard_id is not None:
+                member["shard_id"] = record.shard_id
+            members.append(member)
+        body = {"batch": members}
         return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -134,6 +145,7 @@ class BatchDeletionRecord:
                     label=member["label"],
                     request_id=member.get("request_id"),
                     allow_budget_overrun=member.get("allow_budget_overrun", False),
+                    shard_id=member.get("shard_id"),
                 )
                 for member in body["batch"]
             )
@@ -266,6 +278,7 @@ class WriteAheadLog:
         record: Record,
         request_id: str | None = None,
         allow_budget_overrun: bool = False,
+        shard_id: int | None = None,
     ) -> DeletionRecord:
         """Durably append one deletion request; returns it with its seq."""
         entry = DeletionRecord(
@@ -274,6 +287,7 @@ class WriteAheadLog:
             label=record.label,
             request_id=request_id,
             allow_budget_overrun=allow_budget_overrun,
+            shard_id=shard_id,
         )
         self._handle.write(_frame(entry.to_payload()))
         self._handle.flush()
@@ -289,6 +303,7 @@ class WriteAheadLog:
         records: Sequence[Record],
         request_ids: Sequence[str | None] | None = None,
         allow_budget_overrun: bool = False,
+        shard_id: int | None = None,
     ) -> BatchDeletionRecord:
         """Group-commit a whole batch of deletions as one frame.
 
@@ -308,6 +323,7 @@ class WriteAheadLog:
                 label=record.label,
                 request_id=request_ids[index] if request_ids is not None else None,
                 allow_budget_overrun=allow_budget_overrun,
+                shard_id=shard_id,
             )
             for index, record in enumerate(records)
         )

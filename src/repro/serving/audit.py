@@ -45,6 +45,10 @@ class AuditEntry:
     #: (``log_offset`` is then the batch's first sequence number). The
     #: default keeps entries from pre-batching JSON logs loadable.
     n_records: int = 1
+    #: Owning shard of a sharded deployment (``None`` when unsharded).
+    #: Together with ``log_offset`` this traces a deletion end-to-end:
+    #: request id -> shard -> that shard's WAL namespace and offset.
+    shard_id: int | None = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -75,6 +79,9 @@ class AuditedUnlearner:
     strict: bool = False
     entries: list[AuditEntry] = field(default_factory=list)
     wal: "WriteAheadLog | None" = None
+    #: Shard this unlearner serves in a sharded deployment; stamped onto
+    #: every audit entry and WAL frame it produces (``None`` = unsharded).
+    shard_id: int | None = None
 
     def unlearn(
         self, request_id: str, record: Record, allow_budget_overrun: bool = False
@@ -87,6 +94,7 @@ class AuditedUnlearner:
                 record,
                 request_id=request_id,
                 allow_budget_overrun=allow_budget_overrun,
+                shard_id=self.shard_id,
             ).seq
         try:
             report = self.model.unlearn(
@@ -100,6 +108,7 @@ class AuditedUnlearner:
                 latency_us=(time.perf_counter() - start) * 1e6,
                 error=str(error),
                 log_offset=log_offset,
+                shard_id=self.shard_id,
             )
             self.entries.append(entry)
             if self.strict:
@@ -113,6 +122,7 @@ class AuditedUnlearner:
             leaves_updated=report.leaves_updated,
             variant_switches=report.variant_switches,
             log_offset=log_offset,
+            shard_id=self.shard_id,
         )
         self.entries.append(entry)
         return entry
@@ -145,6 +155,7 @@ class AuditedUnlearner:
                 records,
                 request_ids=record_request_ids,
                 allow_budget_overrun=allow_budget_overrun,
+                shard_id=self.shard_id,
             ).first_seq
         # Force the packed form so the apply is the whole-batch-atomic
         # kernel: live outcome == WAL replay outcome == replica catch-up.
@@ -161,6 +172,7 @@ class AuditedUnlearner:
                 latency_us=(time.perf_counter() - start) * 1e6,
                 error=str(error),
                 log_offset=log_offset,
+                shard_id=self.shard_id,
                 n_records=len(records),
             )
             self.entries.append(entry)
@@ -175,6 +187,7 @@ class AuditedUnlearner:
             leaves_updated=report.leaves_updated,
             variant_switches=report.variant_switches,
             log_offset=log_offset,
+            shard_id=self.shard_id,
             n_records=len(records),
         )
         self.entries.append(entry)

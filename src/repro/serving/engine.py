@@ -86,6 +86,9 @@ class ReplicatedServingEngine:
         consistency: one of :data:`CONSISTENCY_MODES`.
         applied_seq: the WAL sequence number already reflected in ``model``
             (non-zero when resuming from recovery).
+        shard_id: owning shard when this engine serves one shard of a
+            sharded deployment; stamped onto every audit entry and WAL
+            frame it writes (``None`` = unsharded).
     """
 
     def __init__(
@@ -95,6 +98,7 @@ class ReplicatedServingEngine:
         n_replicas: int = 2,
         consistency: str = "strong",
         applied_seq: int | None = None,
+        shard_id: int | None = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -113,7 +117,8 @@ class ReplicatedServingEngine:
         # In-memory tail of durable deletion ops not yet applied
         # everywhere. Pruned once all replicas pass.
         self._pending: list[_PendingOp] = []
-        self._audited = AuditedUnlearner(model=model, wal=store.wal)
+        self.shard_id = shard_id
+        self._audited = AuditedUnlearner(model=model, wal=store.wal, shard_id=shard_id)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -125,6 +130,7 @@ class ReplicatedServingEngine:
         store: ModelStore,
         n_replicas: int = 2,
         consistency: str = "strong",
+        shard_id: int | None = None,
     ) -> "ReplicatedServingEngine":
         """Restart after a crash: snapshot + WAL replay, then serve again."""
         recovered = store.recover()
@@ -134,6 +140,7 @@ class ReplicatedServingEngine:
             n_replicas=n_replicas,
             consistency=consistency,
             applied_seq=recovered.wal_seq,
+            shard_id=shard_id,
         )
 
     # ------------------------------------------------------------------ #
@@ -223,6 +230,23 @@ class ReplicatedServingEngine:
         traversed by its packed ensemble kernel in one call.
         """
         return self._next_replica().model.predict_rows(values)
+
+    def predict_proba_rows(self, values: np.ndarray) -> np.ndarray:
+        """Soft-vote probabilities for one micro-batch of raw code rows.
+
+        Used by the sharded aggregation path: each shard engine answers
+        with its sub-ensemble's mean positive-class probability and the
+        shard layer averages the contributions.
+        """
+        return self._next_replica().model.predict_proba_rows(values)
+
+    def predict_votes_rows(self, values: np.ndarray) -> np.ndarray:
+        """Positive hard-vote counts for one micro-batch of raw code rows.
+
+        Vote counts from independent shards add; the shard layer applies
+        the global majority threshold once over the summed counts.
+        """
+        return self._next_replica().model.predict_votes_rows(values)
 
     def unlearn(
         self, request_id: str, record: Record, allow_budget_overrun: bool = False

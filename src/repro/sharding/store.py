@@ -1,0 +1,189 @@
+"""Per-shard durable storage for a sharded deployment.
+
+Directory layout::
+
+    <root>/
+      manifest.json                 # n_shards + partitioner salt (routing)
+      shard-0000/
+        snapshots/snapshot-*.npz    # that shard's checksummed snapshots
+        wal/wal-*.log               # that shard's CRC-framed deletion log
+      shard-0001/
+        ...
+
+Every shard owns a full :class:`~repro.persistence.store.ModelStore`
+namespace -- its own snapshot lineage and its own write-ahead log with its
+own sequence numbers. Deletions route to exactly one shard, so the shard
+WALs never need cross-shard ordering; recovery replays each shard's tail
+independently and reassembles the :class:`ShardedHedgeCut` from the
+manifest's routing parameters.
+
+The manifest is written once at creation and validated on reopen: routing
+is part of the durable state (a restart that re-partitioned differently
+would silently route deletions to the wrong shard's model).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.exceptions import HedgeCutError
+from repro.persistence.snapshot import SnapshotInfo
+from repro.persistence.store import ModelStore, RecoveredModel
+from repro.sharding.model import ShardedHedgeCut
+from repro.sharding.partitioner import HashPartitioner
+
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
+
+
+@dataclass
+class RecoveredShardedModel:
+    """Result of one whole-service crash recovery."""
+
+    model: ShardedHedgeCut
+    shards: list[RecoveredModel]
+
+    @property
+    def n_replayed(self) -> int:
+        return sum(shard.n_replayed for shard in self.shards)
+
+    @property
+    def n_replay_failures(self) -> int:
+        return sum(shard.n_replay_failures for shard in self.shards)
+
+    @property
+    def wal_seqs(self) -> list[int]:
+        return [shard.wal_seq for shard in self.shards]
+
+
+class ShardedModelStore:
+    """One durable store namespace per shard, plus the routing manifest.
+
+    Args:
+        directory: store root (created if missing).
+        n_shards: shard count; required when creating a new store, optional
+            (and validated) when opening an existing one.
+        partitioner_salt: routing salt persisted in the manifest; validated
+            on reopen the same way.
+        fsync: strict-durability mode, forwarded to every shard WAL.
+        keep_snapshots: per-shard snapshot retention.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_shards: int | None = None,
+        partitioner_salt: int = 0,
+        fsync: bool = False,
+        keep_snapshots: int = 2,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / _MANIFEST_NAME
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            if manifest.get("version") != _MANIFEST_VERSION:
+                raise HedgeCutError(
+                    f"unsupported sharded-store manifest version "
+                    f"{manifest.get('version')!r} in {manifest_path}"
+                )
+            stored_shards = int(manifest["n_shards"])
+            stored_salt = int(manifest["partitioner_salt"])
+            if n_shards is not None and n_shards != stored_shards:
+                raise HedgeCutError(
+                    f"store at {self.directory} is partitioned {stored_shards} "
+                    f"ways, but {n_shards} shards were requested; routing is "
+                    f"durable and cannot be changed in place"
+                )
+            if partitioner_salt and partitioner_salt != stored_salt:
+                raise HedgeCutError(
+                    f"store at {self.directory} was partitioned with salt "
+                    f"{stored_salt}, got {partitioner_salt}"
+                )
+            self.n_shards = stored_shards
+            self.partitioner_salt = stored_salt
+        else:
+            if n_shards is None:
+                raise HedgeCutError(
+                    f"no manifest at {manifest_path}; pass n_shards to create "
+                    f"a new sharded store"
+                )
+            self.n_shards = n_shards
+            self.partitioner_salt = partitioner_salt
+            manifest_path.write_text(
+                json.dumps(
+                    {
+                        "version": _MANIFEST_VERSION,
+                        "n_shards": self.n_shards,
+                        "partitioner_salt": self.partitioner_salt,
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+        self.shard_stores: list[ModelStore] = [
+            ModelStore(
+                self.shard_directory(shard),
+                fsync=fsync,
+                keep_snapshots=keep_snapshots,
+            )
+            for shard in range(self.n_shards)
+        ]
+
+    @staticmethod
+    def exists(directory: str | Path) -> bool:
+        """Whether ``directory`` holds a sharded store (has a manifest)."""
+        return (Path(directory) / _MANIFEST_NAME).exists()
+
+    def shard_directory(self, shard_id: int) -> Path:
+        return self.directory / f"shard-{shard_id:04d}"
+
+    def partitioner(self) -> HashPartitioner:
+        """The routing the manifest pins down."""
+        return HashPartitioner(self.n_shards, salt=self.partitioner_salt)
+
+    # ------------------------------------------------------------------ #
+    # snapshots and recovery
+    # ------------------------------------------------------------------ #
+
+    def save_snapshots(
+        self, model: ShardedHedgeCut, wal_seqs: list[int] | None = None
+    ) -> list[SnapshotInfo]:
+        """Snapshot every shard into its own namespace (compacting its WAL)."""
+        if model.n_shards != self.n_shards:
+            raise HedgeCutError(
+                f"model has {model.n_shards} shards, store has {self.n_shards}"
+            )
+        infos = []
+        for shard_id, (shard, store) in enumerate(
+            zip(model.shards, self.shard_stores)
+        ):
+            seq = wal_seqs[shard_id] if wal_seqs is not None else None
+            infos.append(store.save_snapshot(shard, wal_seq=seq))
+        return infos
+
+    def recover(self) -> RecoveredShardedModel:
+        """Rebuild the whole sharded service: per-shard snapshot + WAL tail.
+
+        Every shard recovers independently (snapshots and logs never cross
+        shard namespaces), then the shards reassemble behind the manifest's
+        partitioner so routing after recovery equals routing before the
+        crash.
+        """
+        recovered = [store.recover() for store in self.shard_stores]
+        model = ShardedHedgeCut.from_shards(
+            [shard.model for shard in recovered], self.partitioner()
+        )
+        return RecoveredShardedModel(model=model, shards=recovered)
+
+    def close(self) -> None:
+        for store in self.shard_stores:
+            store.close()
+
+    def __enter__(self) -> "ShardedModelStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,116 @@
+"""Workload generator: storms, heavy tails, caps, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.workload import (
+    Workload,
+    WorkloadEvent,
+    WorkloadProfile,
+    generate_workload,
+)
+
+
+class TestProfileValidation:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="base_unlearn_fraction"):
+            WorkloadProfile(n_requests=10, base_unlearn_fraction=1.5)
+
+    def test_rejects_non_positive_requests(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            WorkloadProfile(n_requests=0)
+
+    def test_rejects_bad_tail_shape(self):
+        with pytest.raises(ValueError, match="user_size_shape"):
+            WorkloadProfile(n_requests=10, user_size_shape=0.0)
+
+    def test_rejects_storm_without_length(self):
+        with pytest.raises(ValueError, match="storm_length"):
+            WorkloadProfile(n_requests=10, n_storms=1, storm_length=0)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        profile = WorkloadProfile(
+            n_requests=300, base_unlearn_fraction=0.05, n_storms=2, storm_length=30
+        )
+        first = generate_workload(profile, n_prediction_rows=50, n_deletable=100, seed=7)
+        second = generate_workload(profile, n_prediction_rows=50, n_deletable=100, seed=7)
+        assert first.events == second.events
+        assert first.storm_windows == second.storm_windows
+
+    def test_every_slot_becomes_one_event(self):
+        profile = WorkloadProfile(n_requests=200, base_unlearn_fraction=0.1)
+        workload = generate_workload(profile, n_prediction_rows=20, n_deletable=500, seed=1)
+        assert len(workload.events) == 200
+        assert workload.n_predictions + workload.n_deletion_events == 200
+
+    def test_deletions_never_exceed_the_deletable_pool(self):
+        profile = WorkloadProfile(
+            n_requests=500, base_unlearn_fraction=0.5, max_user_size=32
+        )
+        workload = generate_workload(profile, n_prediction_rows=10, n_deletable=40, seed=2)
+        assert workload.n_deletions <= 40
+
+    def test_user_sizes_are_heavy_tailed_but_capped(self):
+        profile = WorkloadProfile(
+            n_requests=2000,
+            base_unlearn_fraction=0.3,
+            user_size_shape=1.2,
+            max_user_size=16,
+        )
+        workload = generate_workload(
+            profile, n_prediction_rows=10, n_deletable=100_000, seed=3
+        )
+        sizes = np.asarray(workload.deletion_sizes)
+        assert sizes.min() >= 1
+        assert sizes.max() <= 16
+        assert sizes.max() > int(np.median(sizes))  # a tail exists
+
+    def test_storms_concentrate_deletions(self):
+        profile = WorkloadProfile(
+            n_requests=1000,
+            base_unlearn_fraction=0.01,
+            n_storms=3,
+            storm_length=60,
+            storm_unlearn_fraction=0.8,
+        )
+        workload = generate_workload(
+            profile, n_prediction_rows=10, n_deletable=100_000, seed=4
+        )
+        assert workload.storm_windows
+        in_storm = np.zeros(1000, dtype=bool)
+        for start, stop in workload.storm_windows:
+            in_storm[start:stop] = True
+        events_in = sum(
+            1
+            for slot, event in enumerate(workload.events)
+            if event.kind == "unlearn" and in_storm[slot]
+        )
+        events_out = workload.n_deletion_events - events_in
+        slots_in = int(in_storm.sum())
+        rate_in = events_in / slots_in
+        rate_out = events_out / (1000 - slots_in)
+        assert rate_in > 5 * rate_out
+
+    def test_prediction_rows_stay_in_pool(self):
+        profile = WorkloadProfile(n_requests=300, base_unlearn_fraction=0.0)
+        workload = generate_workload(profile, n_prediction_rows=7, n_deletable=0, seed=5)
+        assert workload.n_deletion_events == 0
+        assert all(0 <= event.row < 7 for event in workload.events)
+
+
+class TestWorkloadSummaries:
+    def test_counts_are_consistent(self):
+        events = [
+            WorkloadEvent(kind="predict", row=1),
+            WorkloadEvent(kind="unlearn", size=4),
+            WorkloadEvent(kind="unlearn", size=1),
+        ]
+        workload = Workload(events=events)
+        assert workload.n_predictions == 1
+        assert workload.n_deletion_events == 2
+        assert workload.n_deletions == 5
+        assert workload.deletion_sizes == [4, 1]

@@ -1,0 +1,27 @@
+"""Fixtures for the sharded-service tests.
+
+Training is the expensive part: fitted sharded models are session-scoped
+and deep-copied per test that mutates them, mirroring the root conftest.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.sharding.model import ShardedHedgeCut
+
+
+@pytest.fixture(scope="session")
+def sharded_model_session(income_split) -> ShardedHedgeCut:
+    """A fitted 4-way sharded model for read-only tests. Never mutate."""
+    train, _ = income_split
+    model = ShardedHedgeCut(n_shards=4, n_trees=8, epsilon=0.05, seed=5)
+    return model.fit(train)
+
+
+@pytest.fixture()
+def sharded_model(sharded_model_session) -> ShardedHedgeCut:
+    """A private deep copy of the session sharded model, safe to mutate."""
+    return copy.deepcopy(sharded_model_session)

@@ -1,0 +1,193 @@
+"""ShardedHedgeCut: K=1 bit-identity, routed deletions, aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.exceptions import NotFittedError
+from repro.datasets.registry import load_dataset
+from repro.evaluation.splits import train_test_split
+from repro.sharding.model import ShardedHedgeCut
+from repro.sharding.partitioner import HashPartitioner
+
+
+class TestConstruction:
+    def test_rejects_indivisible_tree_budget(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ShardedHedgeCut(n_shards=3, n_trees=8)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedHedgeCut(n_shards=0, n_trees=8)
+
+    def test_tree_budget_splits_evenly(self):
+        model = ShardedHedgeCut(n_shards=4, n_trees=8, seed=1)
+        assert [shard.params.n_trees for shard in model.shards] == [2, 2, 2, 2]
+        assert model.n_trees == 8
+
+    def test_predict_requires_fit(self):
+        model = ShardedHedgeCut(n_shards=2, n_trees=4, seed=1)
+        with pytest.raises(NotFittedError):
+            model.predict((0, 0, 0))
+
+    def test_from_shards_validates_count_and_tree_parity(self, fitted_model):
+        with pytest.raises(ValueError, match="shard models"):
+            ShardedHedgeCut.from_shards([fitted_model], HashPartitioner(2))
+        other = HedgeCutClassifier(n_trees=fitted_model.params.n_trees + 1, seed=1)
+        with pytest.raises(ValueError, match="equally many trees"):
+            ShardedHedgeCut.from_shards([fitted_model, other], HashPartitioner(2))
+
+
+@pytest.mark.parametrize("dataset_name", ["income", "heart"])
+class TestSingleShardBitIdentity:
+    """The K=1 guarantee on two registry datasets: sharding is a no-op."""
+
+    @pytest.fixture()
+    def split(self, dataset_name):
+        dataset = load_dataset(dataset_name, n_rows=400, seed=13)
+        return train_test_split(dataset, test_fraction=0.25, seed=13)
+
+    def test_predict_proba_bit_identical(self, split):
+        train, test = split
+        base = HedgeCutClassifier(n_trees=6, seed=21).fit(train)
+        sharded = ShardedHedgeCut(n_shards=1, n_trees=6, seed=21).fit(train)
+        matrix = test.feature_matrix()
+        assert np.array_equal(
+            base.predict_proba_rows(matrix), sharded.predict_proba_rows(matrix)
+        )
+
+    def test_labels_and_votes_bit_identical(self, split):
+        train, test = split
+        base = HedgeCutClassifier(n_trees=6, seed=21).fit(train)
+        sharded = ShardedHedgeCut(n_shards=1, n_trees=6, seed=21).fit(train)
+        matrix = test.feature_matrix()
+        assert np.array_equal(base.predict_rows(matrix), sharded.predict_rows(matrix))
+        assert np.array_equal(
+            base.predict_votes_rows(matrix), sharded.predict_votes_rows(matrix)
+        )
+
+
+class TestAggregation:
+    def test_votes_sum_over_shards(self, sharded_model_session, income_split):
+        _, test = income_split
+        matrix = test.feature_matrix()
+        summed = sum(
+            shard.predict_votes_rows(matrix)
+            for shard in sharded_model_session.shards
+        )
+        assert np.array_equal(
+            sharded_model_session.predict_votes_rows(matrix), summed
+        )
+
+    def test_labels_follow_global_majority(self, sharded_model_session, income_split):
+        _, test = income_split
+        matrix = test.feature_matrix()
+        votes = sharded_model_session.predict_votes_rows(matrix)
+        expected = (2 * votes > sharded_model_session.n_trees).astype(np.uint8)
+        assert np.array_equal(sharded_model_session.predict_rows(matrix), expected)
+
+    def test_proba_is_mean_of_shard_probas(self, sharded_model_session, income_split):
+        _, test = income_split
+        matrix = test.feature_matrix()
+        stacked = np.stack(
+            [
+                shard.predict_proba_rows(matrix)
+                for shard in sharded_model_session.shards
+            ]
+        )
+        np.testing.assert_allclose(
+            sharded_model_session.predict_proba_rows(matrix),
+            stacked.mean(axis=0),
+            rtol=1e-12,
+        )
+
+    def test_scalar_paths_match_row_paths(self, sharded_model_session, income_split):
+        _, test = income_split
+        record = test.record(0)
+        matrix = test.feature_matrix()[:1]
+        assert sharded_model_session.predict(record) == int(
+            sharded_model_session.predict_rows(matrix)[0]
+        )
+        assert sharded_model_session.predict_proba(record) == pytest.approx(
+            float(sharded_model_session.predict_proba_rows(matrix)[0])
+        )
+
+    def test_partition_stats_cover_training_set(
+        self, sharded_model_session, income_split
+    ):
+        train, _ = income_split
+        stats = sharded_model_session.partition_stats
+        assert stats.n_rows == train.n_rows
+        assert stats.n_shards == 4
+
+
+class TestRoutedUnlearning:
+    def test_deletion_touches_only_owning_shard(self, sharded_model, income_split):
+        train, _ = income_split
+        record = train.record(7)
+        owner = sharded_model.owning_shard(record)
+        before = [shard.n_unlearned for shard in sharded_model.shards]
+        sharded_model.unlearn(record)
+        after = [shard.n_unlearned for shard in sharded_model.shards]
+        assert after[owner] == before[owner] + 1
+        for shard_id in range(sharded_model.n_shards):
+            if shard_id != owner:
+                assert after[shard_id] == before[shard_id]
+
+    @settings(max_examples=15, deadline=None)
+    @given(row=st.integers(min_value=0, max_value=299))
+    def test_routing_property_only_owner_changes(
+        self, sharded_model_session, income_split, row
+    ):
+        """For any training row, deletion changes exactly the owning shard."""
+        import copy
+
+        model = copy.deepcopy(sharded_model_session)
+        train, _ = income_split
+        record = train.record(row % train.n_rows)
+        owner = model.owning_shard(record)
+        trained_on = [shard.n_trained_on for shard in model.shards]
+        report = model.unlearn(record, allow_budget_overrun=True)
+        assert report.leaves_updated >= 0
+        for shard_id, shard in enumerate(model.shards):
+            if shard_id == owner:
+                assert shard.n_unlearned == 1
+            else:
+                assert shard.n_unlearned == 0
+                assert shard.n_trained_on == trained_on[shard_id]
+
+    def test_batch_splits_by_shard_and_merges_reports(
+        self, sharded_model, income_split
+    ):
+        train, _ = income_split
+        records = [train.record(row) for row in range(12)]
+        groups = sharded_model.group_by_shard(records)
+        assert sum(len(positions) for positions in groups.values()) == len(records)
+        report = sharded_model.unlearn_batch(records, allow_budget_overrun=True)
+        assert report.leaves_updated > 0
+        assert sharded_model.n_unlearned == len(records)
+        for shard_id, positions in groups.items():
+            assert sharded_model.shards[shard_id].n_unlearned == len(positions)
+
+    def test_budgets_sum_over_shards(self, sharded_model):
+        assert sharded_model.deletion_budget == sum(
+            shard.deletion_budget for shard in sharded_model.shards
+        )
+        assert sharded_model.remaining_deletion_budget == sum(
+            shard.remaining_deletion_budget for shard in sharded_model.shards
+        )
+
+
+class TestShardSeeds:
+    def test_shards_are_decorrelated(self, income_split):
+        train, _ = income_split
+        model = ShardedHedgeCut(n_shards=2, n_trees=4, seed=9).fit(train)
+        first, second = model.shards
+        assert first.params.seed != second.params.seed
+
+    def test_shard_zero_keeps_base_seed(self):
+        model = ShardedHedgeCut(n_shards=4, n_trees=8, seed=123)
+        assert model.shards[0].params.seed == 123

@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding lint
+.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding profile-unlearn lint
 
 ## Run the fast unit/property/integration suite (slow-marked tests are
 ## excluded via addopts in pyproject.toml).
@@ -36,6 +36,11 @@ bench-training:
 ## machine-readable results land in BENCH_unlearning.json at the repo root.
 bench-unlearning:
 	$(PYTHON) benchmarks/bench_unlearning.py
+
+## cProfile the single-record unlearning fast path (2000-deletion
+## campaign; prints top entries by cumulative and self time).
+profile-unlearn:
+	$(PYTHON) benchmarks/profile_unlearn.py
 
 ## SISA sharding benchmark (deletion throughput and predict latency at
 ## K in {1,2,4,8}, K=1 bit-identity and the K=4 >= 2x scaling bar asserted

@@ -1,20 +1,32 @@
-"""Unlearning benchmark: batch-deletion kernel vs the scalar loop.
+"""Unlearning benchmark: scalar fast path, batch kernel, and the topd knob.
 
 Measures, on the largest registry dataset (credit):
 
-* single-record unlearning latency (p50/p99) through the scalar
-  Algorithm-4 traversal -- the figure the paper reports at ~100us, and
+* single-record unlearning latency (p50/p99) through the scalar fast
+  path over the packed write-side arrays
+  (:mod:`repro.core.unlearn_fast`) -- the figure the paper reports at
+  ~100us -- and the object-graph reference walk it replaced, with their
+  p50 ratio,
+* the same single-record figure at ``topd`` in {0, 1, 2} (DaRE-style
+  random top layers), alongside each model's fit time and holdout
+  accuracy -- the latency/accuracy trade-off table,
 * batched deletion throughput (deletions/second) of the vectorised
   batch-unlearning kernel (:mod:`repro.core.unlearn_batch`) against the
-  record-at-a-time scalar loop, at batch sizes 1/16/64/256.
+  scalar loop, at batch sizes 1/16/64/256, and
+* the crossover batch size where the vectorised kernel overtakes the
+  scalar small-batch loop -- the measurement behind
+  ``HedgeCutClassifier.small_batch_threshold``.
 
-Before any timing, the run *asserts* scalar-vs-batch equivalence on the
-exact deletion campaign it is about to measure: identical aggregated
-:class:`UnlearningReport` and bit-identical ``predict_proba`` afterwards.
-A throughput number for a kernel that changes the verdicts would be
-meaningless.
+Before any timing, the run *asserts* equivalence on the exact deletion
+campaign it is about to measure: fast path vs object path record by
+record (identical reports), scalar vs batched (identical aggregated
+:class:`UnlearningReport`), and bit-identical ``predict_proba`` after
+every campaign. A latency number for a path that changes the verdicts
+would be meaningless. Two performance gates also run in-process: the
+topd=0 fast-path p50 must stay at or under 150us, and batch-size-1
+dispatch must be at least as fast as the scalar loop.
 
-Both sides are measured with warm packs (read-path pack plus the
+All sides are measured with warm packs (read-path pack plus the
 write-path unlearn pack) on fresh model copies per repeat, best-of-
 ``repeats``. The batched side's timing includes the per-tree repacks
 triggered by variant switches -- that cost is part of serving a batch.
@@ -36,12 +48,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.ensemble import HedgeCutClassifier
+from repro.core.exceptions import UnlearningError
 from repro.core.unlearning import UnlearningReport
 from repro.datasets.registry import DATASETS, load_dataset
 from repro.evaluation.splits import train_test_split
 
 #: The paper's headline single-record unlearning latency (Table 2 scale).
 PAPER_SINGLE_RECORD_US = 100.0
+
+#: In-run gate: fast-path p50 at topd=0 must not regress past this.
+GATE_SINGLE_RECORD_P50_US = 150.0
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -76,7 +92,33 @@ def _batched_campaign(
 
 
 def _assert_equivalence(model: HedgeCutClassifier, records, test) -> dict:
-    """Scalar and batched campaigns must agree before anything is timed."""
+    """Every unlearning route must agree before anything is timed.
+
+    Fast path vs object path record by record (reports and rejection
+    messages), then the scalar loop vs one whole-campaign batch, then
+    bit-identical predictions from all three survivors.
+    """
+    fast = _warm_copy(model)
+    obj = _warm_copy(model)
+    for record in records:
+        fast_error = obj_error = None
+        try:
+            obj_report = obj.unlearn(record, allow_budget_overrun=True, path="object")
+        except UnlearningError as exc:
+            obj_error = str(exc)
+        try:
+            fast_report = fast.unlearn(record, allow_budget_overrun=True, path="fast")
+        except UnlearningError as exc:
+            fast_error = str(exc)
+        assert fast_error == obj_error, (
+            f"fast/object verdict mismatch: {fast_error!r} vs {obj_error!r}"
+        )
+        if obj_error is None:
+            assert fast_report == obj_report, (
+                f"fast/object report mismatch: {fast_report} vs {obj_report}"
+            )
+    assert np.array_equal(fast.predict_proba_batch(test), obj.predict_proba_batch(test))
+
     scalar = _warm_copy(model)
     batched = _warm_copy(model)
     scalar_report = _scalar_campaign(scalar, records)
@@ -89,8 +131,12 @@ def _assert_equivalence(model: HedgeCutClassifier, records, test) -> dict:
     assert np.array_equal(scalar_proba, batched_proba), (
         "batched campaign diverged from the scalar loop on predict_proba"
     )
+    assert np.array_equal(scalar_proba, fast.predict_proba_batch(test)), (
+        "fast-path campaign diverged from the scalar loop on predict_proba"
+    )
     return {
         "checked_records": len(records),
+        "fast_object_identical": True,
         "reports_equal": True,
         "proba_bit_identical": True,
         "variant_switches": scalar_report.variant_switches,
@@ -108,19 +154,104 @@ def _best_seconds(model, records, repeats: int, run) -> float:
     return best
 
 
-def _single_record_latency(model: HedgeCutClassifier, records) -> dict:
-    work = _warm_copy(model)
-    latencies = []
-    for record in records:
-        start = time.perf_counter()
-        work.unlearn(record, allow_budget_overrun=True)
-        latencies.append((time.perf_counter() - start) * 1e6)
+def _single_record_latency(
+    model: HedgeCutClassifier, records, path: str, repeats: int = 1
+) -> dict:
+    """Per-record latency distribution, best-of-``repeats`` per record.
+
+    Each repeat replays the same campaign on a fresh warm copy, so the
+    i-th deletion sees identical model state in every repeat; taking the
+    per-record minimum across repeats strips scheduler and frequency
+    noise from the distribution, exactly like ``_best_seconds`` does for
+    whole-campaign timings.
+    """
+    latencies: list[float] | None = None
+    for _ in range(max(1, repeats)):
+        work = _warm_copy(model)
+        pass_latencies = []
+        for record in records:
+            start = time.perf_counter()
+            work.unlearn(record, allow_budget_overrun=True, path=path)
+            pass_latencies.append((time.perf_counter() - start) * 1e6)
+        latencies = (
+            pass_latencies
+            if latencies is None
+            else [min(a, b) for a, b in zip(latencies, pass_latencies)]
+        )
     return {
+        "path": path,
         "n_samples": len(records),
+        "repeats": max(1, repeats),
         "p50_us": _percentile(latencies, 50),
         "p99_us": _percentile(latencies, 99),
         "mean_us": float(np.mean(latencies)),
         "paper_target_us": PAPER_SINGLE_RECORD_US,
+    }
+
+
+def _topd_sweep(args, train, test, singles_records) -> list[dict]:
+    """Fit/accuracy/latency trade-off of the DaRE-style random top layers."""
+    entries = []
+    test_labels = test.labels
+    for topd in (0, 1, 2):
+        start = time.perf_counter()
+        model = HedgeCutClassifier(
+            n_trees=args.n_trees, epsilon=args.epsilon, topd=topd, seed=args.seed
+        ).fit(train)
+        fit_seconds = time.perf_counter() - start
+        accuracy = float((model.predict_batch(test) == test_labels).mean())
+        singles = _single_record_latency(
+            model, singles_records, path="fast", repeats=args.repeats
+        )
+        entries.append(
+            {
+                "topd": topd,
+                "fit_seconds": fit_seconds,
+                "accuracy": accuracy,
+                "random_splits": sum(t.counters.random_splits for t in model.trees),
+                "p50_us": singles["p50_us"],
+                "p99_us": singles["p99_us"],
+            }
+        )
+        print(
+            f"topd={topd}: fit {fit_seconds:.2f}s, accuracy {accuracy:.4f}, "
+            f"{entries[-1]['random_splits']} random splits, "
+            f"single unlearn p50 {singles['p50_us']:.1f}us"
+        )
+    return entries
+
+
+def _measure_crossover(model, records, batch_sizes, repeats: int) -> dict:
+    """Batch size where the vectorised kernel overtakes the scalar loop.
+
+    Both routes are forced via a per-instance ``small_batch_threshold``
+    override (a huge threshold pins the scalar small-batch loop, zero
+    pins the kernel) and timed over the same whole campaign.
+    """
+    scalar_seconds: dict[int, float] = {}
+    kernel_seconds: dict[int, float] = {}
+    for batch_size in batch_sizes:
+        for label, threshold, sink in (
+            ("scalar", len(records) + 1, scalar_seconds),
+            ("kernel", 0, kernel_seconds),
+        ):
+
+            def run(work, recs, _threshold=threshold, _size=batch_size):
+                work.small_batch_threshold = _threshold
+                _batched_campaign(work, recs, _size)
+
+            sink[batch_size] = _best_seconds(model, records, repeats, run)
+    crossover = None
+    for batch_size in sorted(batch_sizes):
+        if kernel_seconds[batch_size] < scalar_seconds[batch_size]:
+            crossover = batch_size
+            break
+    return {
+        "batch_sizes": sorted(batch_sizes),
+        "scalar_loop_seconds": {str(b): scalar_seconds[b] for b in batch_sizes},
+        "kernel_seconds": {str(b): kernel_seconds[b] for b in batch_sizes},
+        "crossover_batch_size": crossover,
+        "configured_threshold": HedgeCutClassifier.small_batch_threshold,
     }
 
 
@@ -141,6 +272,9 @@ def main() -> None:
     parser.add_argument(
         "--batch-sizes", type=int, nargs="+", default=[1, 16, 64, 256]
     )
+    parser.add_argument(
+        "--crossover-sizes", type=int, nargs="+", default=[16, 32, 64, 96, 128, 192, 256]
+    )
     parser.add_argument("--single-samples", type=int, default=200)
     parser.add_argument(
         "--smoke",
@@ -156,6 +290,7 @@ def main() -> None:
         args.n_trees = min(args.n_trees, 4)
         args.n_records = min(args.n_records, 64)
         args.batch_sizes = [b for b in args.batch_sizes if b <= args.n_records]
+        args.crossover_sizes = [b for b in args.crossover_sizes if b <= args.n_records]
         args.single_samples = min(args.single_samples, 50)
         args.repeats = 1
     output = args.output
@@ -174,7 +309,10 @@ def main() -> None:
 
     records = [train.record(row) for row in range(args.n_records)]
 
-    print(f"asserting scalar-vs-batch equivalence over {len(records)} deletions ...")
+    print(
+        f"asserting fast/object and scalar/batch equivalence over "
+        f"{len(records)} deletions ..."
+    )
     equivalence = _assert_equivalence(model, records, test)
     print(
         f"equivalent: {equivalence['leaves_updated']} leaf updates, "
@@ -182,13 +320,32 @@ def main() -> None:
         f"proba bit-identical"
     )
 
+    singles_records = [train.record(row) for row in range(args.single_samples)]
     singles = _single_record_latency(
-        model, [train.record(row) for row in range(args.single_samples)]
+        model, singles_records, path="fast", repeats=args.repeats
     )
+    singles_object = _single_record_latency(
+        model, singles_records, path="object", repeats=args.repeats
+    )
+    ratio = singles_object["p50_us"] / singles["p50_us"]
     print(
-        f"single-record unlearn: p50 {singles['p50_us']:.1f}us, "
+        f"single-record unlearn (fast): p50 {singles['p50_us']:.1f}us, "
         f"p99 {singles['p99_us']:.1f}us (paper ~{PAPER_SINGLE_RECORD_US:.0f}us)"
     )
+    print(
+        f"single-record unlearn (object): p50 {singles_object['p50_us']:.1f}us "
+        f"-> fast path is {ratio:.2f}x faster at p50"
+    )
+    if not args.smoke:
+        # Smoke runs use repeats=1 on a seconds-scale model where timer
+        # noise dwarfs the margins; the gates bind on the real artefact run.
+        assert singles["p50_us"] <= GATE_SINGLE_RECORD_P50_US, (
+            f"fast-path p50 {singles['p50_us']:.1f}us exceeds the "
+            f"{GATE_SINGLE_RECORD_P50_US:.0f}us gate"
+        )
+
+    print("sweeping topd in {0, 1, 2} ...")
+    topd_sweep = _topd_sweep(args, train, test, singles_records)
 
     scalar_seconds = _best_seconds(
         model, records, args.repeats, lambda work, recs: _scalar_campaign(work, recs)
@@ -219,10 +376,32 @@ def main() -> None:
             f"batch {batch_size:>4}: {entry['batched_deletions_per_sec']:.0f} "
             f"deletions/s -> {entry['speedup']:.2f}x over scalar"
         )
+    by_size = {entry["batch_size"]: entry for entry in batched}
+    if 1 in by_size and not args.smoke:
+        # unlearn_batch([r]) delegates to the scalar unlearn call, so a
+        # batch of one runs the identical code path and its speedup is
+        # 1.0x by construction; the measured ratio only deviates by the
+        # wrapper call and campaign-harness slicing plus timer jitter.
+        # (The pre-dispatch kernel measured 0.22x here.)
+        assert by_size[1]["speedup"] >= 0.95, (
+            f"batch-size-1 dispatch is slower than the scalar loop "
+            f"({by_size[1]['speedup']:.2f}x, expected ~1.0x within jitter); "
+            f"adaptive dispatch is broken"
+        )
+
+    print("measuring small-batch/kernel crossover ...")
+    crossover = _measure_crossover(
+        model, records, args.crossover_sizes, args.repeats
+    )
+    print(
+        f"kernel overtakes the scalar loop at batch "
+        f"{crossover['crossover_batch_size']} "
+        f"(configured threshold {crossover['configured_threshold']})"
+    )
 
     headline = batched[-1]
     result = {
-        "benchmark": "batch unlearning kernel",
+        "benchmark": "unlearning fast path + batch kernel",
         "config": {
             "dataset": args.dataset,
             "n_rows": args.n_rows,
@@ -243,7 +422,11 @@ def main() -> None:
         },
         "equivalence": equivalence,
         "single_record": singles,
+        "single_record_object": singles_object,
+        "fast_vs_object_p50_ratio": ratio,
+        "topd_sweep": topd_sweep,
         "batched": batched,
+        "crossover": crossover,
         "headline_batch_size": headline["batch_size"],
         "headline_speedup": headline["speedup"],
     }
@@ -253,10 +436,11 @@ def main() -> None:
     if output is not None:
         print(f"\nwrote {output}")
     print(
-        f"headline: batch-{headline['batch_size']} unlearning at "
-        f"{headline['batched_deletions_per_sec']:.0f} deletions/s vs scalar "
-        f"{scalar_per_sec:.0f} deletions/s on {args.dataset} "
-        f"({train.n_rows} rows) -> {result['headline_speedup']:.2f}x"
+        f"headline: single-record unlearn p50 {singles['p50_us']:.1f}us "
+        f"({ratio:.2f}x over the object walk); batch-{headline['batch_size']} "
+        f"at {headline['batched_deletions_per_sec']:.0f} deletions/s "
+        f"({result['headline_speedup']:.2f}x) on {args.dataset} "
+        f"({train.n_rows} rows)"
     )
 
 

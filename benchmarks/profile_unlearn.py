@@ -1,0 +1,61 @@
+"""cProfile driver for the single-record unlearning hot path.
+
+Trains the benchmark model at a reduced scale, warms both packs, then
+profiles a deletion campaign through ``unlearn(path="fast")`` and prints
+the top entries by cumulative and by self time. Use this to confirm
+where the sub-100us budget goes (it should be dominated by
+``unlearn_fast._apply_one``, not by pack rebuilds or staleness
+refreshes). Run via ``make profile-unlearn``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.evaluation.splits import train_test_split
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=sorted(DATASETS), default="credit")
+    parser.add_argument("--n-rows", type=int, default=10_000)
+    parser.add_argument("--n-trees", type=int, default=8)
+    parser.add_argument("--epsilon", type=float, default=0.005)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--n-records", type=int, default=2000)
+    parser.add_argument("--top", type=int, default=25)
+    args = parser.parse_args()
+
+    data = load_dataset(args.dataset, n_rows=args.n_rows, seed=3)
+    train, _ = train_test_split(data, test_fraction=0.2, seed=3)
+    print(
+        f"[{args.dataset}] fitting {args.n_trees} trees on {train.n_rows} rows ..."
+    )
+    model = HedgeCutClassifier(
+        n_trees=args.n_trees, epsilon=args.epsilon, seed=args.seed
+    ).fit(train)
+    model.packed.unlearn_pack()
+    records = [
+        train.record(row % train.n_rows) for row in range(args.n_records)
+    ]
+
+    def campaign() -> None:
+        for record in records:
+            model.unlearn(record, allow_budget_overrun=True, path="fast")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    campaign()
+    profiler.disable()
+
+    for sort in ("cumulative", "tottime"):
+        print(f"\n==== top {args.top} by {sort} ====")
+        pstats.Stats(profiler).strip_dirs().sort_stats(sort).print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,8 @@ from repro.core.nodes import Leaf, MaintenanceNode, NodeCensus, SplitNode, censu
 from repro.core.packed import PackedEnsemble
 from repro.core.params import HedgeCutParams
 from repro.core.tree import HedgeCutTree
+from repro.core.unlearn_batch import unlearn_batch_packed
+from repro.core.unlearn_fast import unlearn_one_packed, unlearn_small_batch
 from repro.core.unlearning import (
     UnlearningReport,
     apply_unlearn,
@@ -91,6 +93,9 @@ class HedgeCutClassifier:
             trainer), see :class:`HedgeCutParams`.
         max_maintenance_depth: cap on nested maintenance nodes per path,
             see :class:`HedgeCutParams`.
+        topd: number of random, statistics-frozen top levels per tree
+            (DaRE-style), see :class:`HedgeCutParams`. ``0`` (default)
+            disables the knob.
         seed: ensemble random seed.
 
     Example::
@@ -100,6 +105,16 @@ class HedgeCutClassifier:
         label = model.predict(train.record(0))
         model.unlearn(train.record(0))        # GDPR deletion request
     """
+
+    #: Batches strictly smaller than this route through the scalar fast
+    #: path looped per record (:func:`repro.core.unlearn_fast.
+    #: unlearn_small_batch`) instead of the vectorised kernel, whose fixed
+    #: numpy overhead only amortises above the crossover.
+    #: ``benchmarks/bench_unlearning.py`` measures the crossover on the
+    #: credit config and records it in BENCH_unlearning.json; the kernel
+    #: first beats the scalar loop at batch 32 there (the scalar loop's
+    #: per-record cost is flat, the kernel's fixed setup amortises away).
+    small_batch_threshold = 32
 
     def __init__(
         self,
@@ -111,6 +126,7 @@ class HedgeCutClassifier:
         robustness_mode: str = "greedy",
         trainer: str = "recursive",
         max_maintenance_depth: int | None = 1,
+        topd: int = 0,
         n_jobs: int = 1,
         seed: int | None = None,
     ) -> None:
@@ -123,6 +139,7 @@ class HedgeCutClassifier:
             robustness_mode=robustness_mode,
             trainer=trainer,
             max_maintenance_depth=max_maintenance_depth,
+            topd=topd,
             n_jobs=n_jobs,
             seed=seed,
         )
@@ -319,7 +336,10 @@ class HedgeCutClassifier:
         return max(0, self._deletion_budget - self._n_unlearned)
 
     def unlearn(
-        self, record: Record, allow_budget_overrun: bool = False
+        self,
+        record: Record,
+        allow_budget_overrun: bool = False,
+        path: str = "auto",
     ) -> UnlearningReport:
         """Remove one training record from the deployed model, in place.
 
@@ -334,10 +354,19 @@ class HedgeCutClassifier:
             allow_budget_overrun: continue past the deletion budget,
                 accepting an approximate model, instead of raising
                 :class:`DeletionBudgetExhausted`.
+            path: ``"auto"`` (default) takes the scalar fast path of
+                :mod:`repro.core.unlearn_fast` whenever the packed kernel
+                has been built (serving deployments; the engine warms it
+                up-front) and the object walk otherwise; ``"fast"`` forces
+                the fast path, building the packs if needed; ``"object"``
+                forces the reference object walk. All paths produce
+                bit-identical models and reports.
 
         Returns:
             an :class:`UnlearningReport` aggregated over all trees.
         """
+        if path not in ("auto", "fast", "object"):
+            raise ValueError(f"path must be 'auto', 'fast' or 'object', got {path!r}")
         self._require_fitted()
         self._validate_unlearn_record(record)
         if self._n_unlearned >= self._deletion_budget and not allow_budget_overrun:
@@ -345,10 +374,12 @@ class HedgeCutClassifier:
                 f"the deletion budget of {self._deletion_budget} records is "
                 f"exhausted; retrain the model or pass allow_budget_overrun=True"
             )
+        if path == "fast" or (path == "auto" and self._packed is not None):
+            return self._unlearn_one_fast(record)
 
-        # Plan (and validate) the removal against every tree before applying
-        # it to any of them: a record inconsistent with the model raises
-        # here and leaves the whole ensemble untouched.
+        # Object path. Plan (and validate) the removal against every tree
+        # before applying it to any of them: a record inconsistent with the
+        # model raises here and leaves the whole ensemble untouched.
         plans = [plan_unlearn(tree.root, record) for tree in self._trees]
         report = UnlearningReport()
         leaf_sink = self._packed.sync_leaf if self._packed is not None else None
@@ -366,6 +397,27 @@ class HedgeCutClassifier:
             self._packed.mark_stats_stale()
         self._n_unlearned += 1
         return report
+
+    def _unlearn_one_fast(self, record: Record) -> UnlearningReport:
+        """One validated deletion through the scalar packed fast path.
+
+        Mirrors the decrements straight into the unlearn pack's flat
+        arrays (no staleness marking -- the mirrors stay fresh), syncs
+        mutated leaves into the read pack's arrays vectorised, and
+        repacks only switched trees, exactly like the batch kernel.
+        """
+        packed = self.packed
+        result = unlearn_one_packed(
+            packed.unlearn_pack(),
+            record.values,
+            record.label,
+            read_pack=packed,
+        )
+        for index in result.switched_trees:
+            self._compiled[index] = None
+            packed.repack_tree(index)
+        self._n_unlearned += 1
+        return result.report
 
     def _validate_unlearn_record(self, record: Record) -> None:
         if not isinstance(record, Record):
@@ -390,18 +442,28 @@ class HedgeCutClassifier:
         up front instead of leaving the ensemble half-mutated.
 
         When the packed inference kernel has been built (``self.packed``),
-        the batch is applied by the vectorised level-synchronous kernel of
-        :mod:`repro.core.unlearn_batch` -- one routing pass, scatter-added
-        statistic deltas, one write-back, at most one repack per switched
-        tree -- and is **atomic**: an inconsistent record anywhere in the
-        batch raises with no mutation at all. Without a pack the records
-        are applied by the scalar loop (each record individually atomic,
-        earlier records stay applied if a later one fails). Both paths
-        produce identical end states and identically merged reports for
-        batches that succeed.
+        the batch is applied through the packed write path and is
+        **atomic**: an inconsistent record anywhere in the batch raises
+        with no mutation at all. Batches of at least
+        :attr:`small_batch_threshold` records go through the vectorised
+        level-synchronous kernel of :mod:`repro.core.unlearn_batch` -- one
+        routing pass, scatter-added statistic deltas, one write-back, at
+        most one repack per switched tree; smaller batches loop the scalar
+        fast path of :mod:`repro.core.unlearn_fast`, whose constant
+        factors win below the kernel's measured crossover. Without a pack
+        the records are applied by the scalar object loop (each record
+        individually atomic, earlier records stay applied if a later one
+        fails). All paths produce identical end states and identically
+        merged reports for batches that succeed.
         """
         self._require_fitted()
-        records = list(records)
+        records = records if isinstance(records, list) else list(records)
+        if len(records) == 1:
+            # Degenerate batch: identical semantics (validation, budget,
+            # atomicity, report) to a single unlearn call, so delegate and
+            # skip the batch scaffolding -- keeps unlearn_batch([r]) at
+            # scalar-path latency.
+            return self.unlearn(records[0], allow_budget_overrun=allow_budget_overrun)
         for record in records:
             self._validate_unlearn_record(record)
         remaining = self._deletion_budget - self._n_unlearned
@@ -421,16 +483,31 @@ class HedgeCutClassifier:
         return total
 
     def _unlearn_batch_packed(self, records: list[Record]) -> UnlearningReport:
-        """Apply one validated batch through the vectorised kernel."""
-        from repro.core.unlearn_batch import unlearn_batch_packed
+        """Apply one validated batch through the packed write path.
 
+        Adaptive dispatch: small batches loop the scalar fast path (same
+        whole-batch atomicity and reports), large ones take the
+        vectorised kernel.
+        """
         assert self._packed is not None
-        values = np.asarray([record.values for record in records], dtype=np.int64)
-        labels = np.asarray([record.label for record in records], dtype=np.int64)
-        result = unlearn_batch_packed(
-            self._packed.unlearn_pack(), values, labels,
-            leaf_sink=self._packed.sync_leaf,
-        )
+        if len(records) < self.small_batch_threshold:
+            values = np.asarray(
+                [record.values for record in records], dtype=np.int64
+            )
+            labels = np.asarray([record.label for record in records], dtype=np.int64)
+            result = unlearn_small_batch(
+                self._packed.unlearn_pack(), values, labels,
+                read_pack=self._packed,
+            )
+        else:
+            values = np.asarray(
+                [record.values for record in records], dtype=np.int64
+            )
+            labels = np.asarray([record.label for record in records], dtype=np.int64)
+            result = unlearn_batch_packed(
+                self._packed.unlearn_pack(), values, labels,
+                leaf_sink=self._packed.sync_leaf,
+            )
         for index in result.switched_trees:
             self._compiled[index] = None
             self._packed.repack_tree(index)
@@ -523,6 +600,7 @@ class HedgeCutClassifier:
             robustness_mode=params.robustness_mode,
             trainer=params.trainer,
             max_maintenance_depth=params.max_maintenance_depth,
+            topd=params.topd,
             n_jobs=params.n_jobs,
             seed=params.seed,
         )
@@ -578,7 +656,10 @@ def _learn_one_in_tree(root, record: Record, leaf_sink=None) -> bool:
                 leaf_sink(node)
         elif isinstance(node, SplitNode):
             goes_left = node.split.goes_left_value(record.values[node.split.feature])
-            _insert_into_stats(node.stats, record, goes_left)
+            if not node.random:
+                # Random top-d splits keep their training-time statistics
+                # frozen, symmetric with unlearning's skip.
+                _insert_into_stats(node.stats, record, goes_left)
             stack.append(node.left if goes_left else node.right)
         elif isinstance(node, MaintenanceNode):
             for variant in node.variants:

@@ -28,10 +28,25 @@ class Leaf:
 
     Predicts the majority class: positive when strictly more than half of
     the remaining records are positive.
+
+    ``__slots__`` keeps the two counts out of a per-instance dict: the
+    scalar unlearning fast path decrements every leaf on a record's paths,
+    and deep ensembles hold hundreds of thousands of these.
     """
+
+    __slots__ = ("n", "n_plus")
 
     n: int
     n_plus: int
+
+    def __setstate__(self, state) -> None:
+        # Accept both slotted (dict_state, slots_state) pickles and plain
+        # __dict__ state from pre-__slots__ pickles.
+        parts = state if isinstance(state, tuple) else (state,)
+        for part in parts:
+            if part:
+                for name, value in part.items():
+                    setattr(self, name, value)
 
     def predict(self) -> int:
         return 1 if 2 * self.n_plus > self.n else 0
@@ -45,12 +60,28 @@ class Leaf:
 
 @dataclass
 class SplitNode:
-    """A robust split: decision fixed for the lifetime of the deployment."""
+    """A split whose decision is fixed for the lifetime of the deployment.
+
+    Two flavours share this type:
+
+    * robust splits (``random=False``, the default) -- certified by the
+      robustness analysis that no removal within the deletion budget can
+      change the decision; their statistics are maintained by unlearning.
+    * random top-``d`` splits (``random=True``, DaRE-style) -- drawn
+      uniformly without gain scoring when ``HedgeCutParams.topd > 0``.
+      Their decision is fixed *by construction*, not by certification, so
+      unlearning routes through them without validating or decrementing
+      their (training-time, frozen) statistics.
+
+    ``random`` defaults to ``False`` at class level, so pickles and
+    snapshots written before the flag existed load as robust splits.
+    """
 
     split: Split
     stats: SplitStats
     left: "TreeNode"
     right: "TreeNode"
+    random: bool = False
 
     def child_for_value(self, value: int) -> "TreeNode":
         return self.left if self.split.goes_left_value(value) else self.right

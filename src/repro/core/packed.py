@@ -219,6 +219,16 @@ class PackedEnsemble:
         self._leaf_index = {id(leaf): i for i, leaf in enumerate(leaf_objects)}
 
     @property
+    def leaf_index(self) -> dict[int, int]:
+        """``id(leaf) -> leaf row`` for the currently packed (active) leaves.
+
+        Rebuilt on every reassembly; the scalar unlearning fast path uses
+        it to sync a record's mutated leaves in one post-walk loop instead
+        of per-leaf :meth:`sync_leaf` calls inside the traversal.
+        """
+        return self._leaf_index
+
+    @property
     def n_trees(self) -> int:
         return len(self._segments)
 

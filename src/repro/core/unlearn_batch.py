@@ -40,11 +40,21 @@ Verdict identity with the scalar loop is by construction:
   variant index.
 
 The pack's flat count arrays are a cache of the object-tree statistics.
-The kernel itself writes through on both sides; scalar mutations
-(``unlearn``/``learn_one``) instead mark the pack stale and the next
-batch refreshes it with one gather pass. Structure -- slots, routing,
-fan lists -- never goes stale: a variant switch only changes
-``active_index``, which the kernel reads live from the node objects.
+The kernel and the scalar fast path (:mod:`repro.core.unlearn_fast`)
+both write through on both sides, so pack mirrors stay perpetually
+fresh along the packed delete paths; only object-path mutations
+(``learn_one``, forced object-path deletes) mark the pack stale, and
+the next packed call refreshes it with one gather pass. Structure --
+slots, routing, fan lists -- never goes stale: a variant switch only
+changes ``active_index``, which the kernel reads live from the node
+objects.
+
+Random top-``d`` splits (``SplitNode.random``, the DaRE-style ``topd``
+knob) are emitted as routing-only slots: they carry a route row like any
+split but ``stats_row == -1`` and ``is_robust == False``, so both the
+batch kernel and the scalar fast path route through them without
+validating or decrementing anything, counting them separately as
+``random_nodes_visited``.
 """
 
 from __future__ import annotations
@@ -133,6 +143,13 @@ class UnlearnPack:
             stats_objects.append(stats)
             robust[slot] = is_robust
 
+        def fill_random(slot: int, split) -> None:
+            # Routing-only slot: stats_row stays -1 (nothing to validate or
+            # decrement), is_robust stays False (counted as a random visit).
+            feature[slot] = split.feature
+            payload[slot] = len(route_rows) * width
+            route_rows.append(_route_row(split, width))
+
         for tree_index, root in enumerate(roots):
             root_slot = alloc()
             roots_out.append(root_slot)
@@ -144,7 +161,10 @@ class UnlearnPack:
                     payload[slot] = len(leaf_objects)
                     leaf_objects.append(node)
                 elif isinstance(node, SplitNode):
-                    fill_split(slot, node.split, node.stats, True)
+                    if node.random:
+                        fill_random(slot, node.split)
+                    else:
+                        fill_split(slot, node.split, node.stats, True)
                     left_slot = alloc()
                     right_slot = alloc()
                     right[slot] = right_slot
@@ -190,6 +210,38 @@ class UnlearnPack:
         self.stats_objects = stats_objects
         self.mnodes = mnodes
         self.mnode_tree = np.asarray(mnode_tree, dtype=np.intp)
+
+        # Variant counts per fan, for the scalar fast path's closed-form
+        # robust tally: every tracked stats row belongs to either a robust
+        # split or the root split of a maintenance variant, so
+        # ``robust_visits == len(visited_rows) - sum(fan sizes visited)``.
+        self.scalar_fan_lens: list[int] = [len(slots) for slots in fan_lists]
+
+        # Scalar mirrors for the single-record fast path
+        # (:mod:`repro.core.unlearn_fast`): plain Python containers beat
+        # numpy scalar indexing by ~10x per access under CPython. Each
+        # slot tuple carries its live object directly (SplitStats for
+        # tracked splits, Leaf for leaves, the variant slot list for
+        # fans, None for random routing-only splits), saving one list
+        # indirection per visited node. Like the arrays above, these
+        # describe *structure* only, which never goes stale -- a variant
+        # switch merely moves ``active_index``.
+        slot_objects: list[object] = []
+        for slot_feature, slot_payload, slot_srow in zip(feature, payload, stats_row):
+            if slot_srow >= 0:
+                slot_objects.append(stats_objects[slot_srow])
+            elif slot_feature == LEAF_MARKER:
+                slot_objects.append(leaf_objects[slot_payload])
+            elif slot_feature == FAN_MARKER:
+                slot_objects.append(fan_lists[slot_payload])
+            else:  # random top-d split: routing only
+                slot_objects.append(None)
+        self.scalar_slots: list[tuple[int, int, int, int, bool, object]] = list(
+            zip(feature, payload, right, stats_row, robust, slot_objects)
+        )
+        self.scalar_route: list[bool] = self.route_flat.tolist()
+        self.scalar_roots: list[int] = roots_out
+        self.scalar_fans: list[list[int]] = fan_lists
 
     # ------------------------------------------------------------------ #
     # count mirrors (staleness: scalar mutations bypass the flat arrays)
@@ -312,6 +364,7 @@ def unlearn_batch_packed(
     visit_mnode_chunks: list[np.ndarray] = []
     visit_rec_chunks: list[np.ndarray] = []
     robust_visits = 0
+    random_visits = 0
 
     while cur.size:
         fid = feature[cur]
@@ -347,9 +400,19 @@ def unlearn_batch_packed(
             split_fid = fid[at_split]
             codes = flat_values[split_rec * n_features + split_fid]
             goes_left = route_flat[payload[split_cur] + codes]
-            stat_row_chunks.append(stats_row[split_cur])
-            stat_left_chunks.append(goes_left)
-            stat_rec_chunks.append(split_rec)
+            split_srow = stats_row[split_cur]
+            tracked = split_srow >= 0
+            n_tracked = int(np.count_nonzero(tracked))
+            random_visits += split_srow.shape[0] - n_tracked
+            if n_tracked == split_srow.shape[0]:
+                # topd == 0: every split carries statistics, skip the mask.
+                stat_row_chunks.append(split_srow)
+                stat_left_chunks.append(goes_left)
+                stat_rec_chunks.append(split_rec)
+            elif n_tracked:
+                stat_row_chunks.append(split_srow[tracked])
+                stat_left_chunks.append(goes_left[tracked])
+                stat_rec_chunks.append(split_rec[tracked])
             robust_visits += int(np.count_nonzero(is_robust[split_cur]))
             next_parts_cur.append(right[split_cur] - goes_left)
             next_parts_rec.append(split_rec)
@@ -566,6 +629,7 @@ def unlearn_batch_packed(
         robust_nodes_visited=robust_visits,
         maintenance_nodes_visited=maintenance_visits,
         variant_switches=variant_switches,
+        random_nodes_visited=random_visits,
     )
     return BatchUnlearnResult(
         report=report, switched_trees=tuple(sorted(switched_trees))

@@ -131,6 +131,7 @@ def _run_sharded_snapshot(config: ExperimentConfig, store_path: str) -> str:
         epsilon=config.epsilon,
         max_tries_per_split=config.max_tries_per_split,
         trainer=config.trainer,
+        topd=config.topd,
         seed=config.seed,
     ).fit(dataset)
     with ShardedModelStore(store_path, n_shards=config.shards) as store:
@@ -187,6 +188,7 @@ def _run_snapshot(config: ExperimentConfig, store_path: str) -> str:
         epsilon=config.epsilon,
         max_tries_per_split=config.max_tries_per_split,
         trainer=config.trainer,
+        topd=config.topd,
         seed=config.seed,
     ).fit(dataset)
     with ModelStore(store_path) as store:
@@ -279,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
         "distribution, faster training)",
     )
     parser.add_argument(
+        "--topd",
+        type=int,
+        default=0,
+        help="DaRE-style random top layers: levels shallower than topd are "
+        "grown as statistics-free random splits that deletions skip "
+        "(0 = fully statistical trees, the paper's setting)",
+    )
+    parser.add_argument(
         "--store",
         default="hedgecut-store",
         help="model-store directory for the snapshot/recover commands",
@@ -303,6 +313,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         datasets=tuple(args.datasets) if args.datasets else available_datasets(),
         trainer=args.trainer,
         shards=args.shards,
+        topd=args.topd,
     )
     if args.experiment in COMMANDS:
         print(f"== {args.experiment} ==", flush=True)

@@ -107,6 +107,7 @@ class _Encoder:
         self.c: list[int] = []
         self.d: list[int] = []
         self.is_cat: list[bool] = []
+        self.random: list[bool] = []
         self.s_n: list[int] = []
         self.s_plus: list[int] = []
         self.s_left: list[int] = []
@@ -132,6 +133,7 @@ class _Encoder:
         self.c.append(0)
         self.d.append(0)
         self.is_cat.append(False)
+        self.random.append(False)
         self.s_n.append(0)
         self.s_plus.append(0)
         self.s_left.append(0)
@@ -180,6 +182,7 @@ class _Encoder:
                 self.a[slot] = node.split.feature
                 self.b[slot] = payload
                 self.is_cat[slot] = is_cat
+                self.random[slot] = node.random
                 self.s_n[slot] = node.stats.n
                 self.s_plus[slot] = node.stats.n_plus
                 self.s_left[slot] = node.stats.n_left
@@ -225,6 +228,10 @@ class _Encoder:
             "node_c": np.asarray(self.c, dtype=np.int64),
             "node_d": np.asarray(self.d, dtype=np.int64),
             "node_is_cat": np.asarray(self.is_cat, dtype=np.bool_),
+            # Added with the topd knob; absent in older snapshots, whose
+            # loader treats every split as non-random (same version, no bump:
+            # the column is optional on read and covered by the checksum).
+            "node_random": np.asarray(self.random, dtype=np.bool_),
             "node_stat_n": np.asarray(self.s_n, dtype=np.int64),
             "node_stat_plus": np.asarray(self.s_plus, dtype=np.int64),
             "node_stat_left": np.asarray(self.s_left, dtype=np.int64),
@@ -398,6 +405,9 @@ def load_snapshot(path: str | Path) -> tuple[HedgeCutClassifier, SnapshotInfo]:
     kind = arrays["node_kind"]
     a, b, c, d = arrays["node_a"], arrays["node_b"], arrays["node_c"], arrays["node_d"]
     is_cat = arrays["node_is_cat"]
+    # Snapshots written before the topd knob carry no node_random column;
+    # every split of theirs is a statistics-maintained one.
+    node_random = arrays.get("node_random")
     s_n, s_plus = arrays["node_stat_n"], arrays["node_stat_plus"]
     s_left, s_left_plus = arrays["node_stat_left"], arrays["node_stat_left_plus"]
     v_feature, v_payload = arrays["var_feature"], arrays["var_payload"]
@@ -428,6 +438,7 @@ def load_snapshot(path: str | Path) -> tuple[HedgeCutClassifier, SnapshotInfo]:
                 ),
                 left=nodes[int(c[index])],
                 right=nodes[int(d[index])],
+                random=bool(node_random[index]) if node_random is not None else False,
             )
         elif node_kind == _KIND_MAINTENANCE:
             first, count = int(a[index]), int(b[index])

@@ -110,6 +110,14 @@ class ReplicatedServingEngine:
             applied_seq = store.wal.last_seq
         self.store = store
         self.consistency = consistency
+        if model.is_fitted:
+            # Warm the packed read kernel and the write-side unlearn pack
+            # before the replicas are copied: every replica then starts
+            # pack-resident, so single deletions take the scalar fast path
+            # of :mod:`repro.core.unlearn_fast` from the first request
+            # instead of paying a pack build (or the object walk) on the
+            # serving hot path.
+            model.packed.unlearn_pack()
         self._replicas = [_Replica(model, applied_seq)]
         for _ in range(n_replicas - 1):
             self._replicas.append(_Replica(copy.deepcopy(model), applied_seq))

@@ -262,13 +262,21 @@ class TestSplitStatsCaches:
         assert updated.gini_gain() != gain
 
     def test_old_pickles_without_cache_attributes_still_work(self):
-        # Class-level defaults stand in for the missing instance attributes.
+        # Pre-__slots__ pickles carry plain __dict__ state without the
+        # cache attributes; __setstate__ defaults the caches and applies
+        # whatever counts the state carries.
         stats = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=3)
-        state = dict(stats.__dict__)
-        state.pop("_gain_key", None)
-        state.pop("_gain_cache", None)
-        state.pop("_quadrants_cache", None)
+        state = {"n": 10, "n_plus": 5, "n_left": 5, "n_left_plus": 3}
         restored = SplitStats.__new__(SplitStats)
-        restored.__dict__.update(state)
+        restored.__setstate__(state)
         assert restored.gini_gain() == stats.gini_gain()
         assert restored.quadrants() == stats.quadrants()
+
+    def test_pickle_round_trip_preserves_counts(self):
+        import pickle
+
+        stats = SplitStats(n=10, n_plus=5, n_left=5, n_left_plus=3)
+        stats.gini_gain()  # populate the cache; it is not part of equality
+        restored = pickle.loads(pickle.dumps(stats))
+        assert restored == stats
+        assert restored.gini_gain() == stats.gini_gain()

@@ -1,0 +1,342 @@
+"""Property tests: the scalar fast path vs the object reference path.
+
+``unlearn_one_packed`` (:mod:`repro.core.unlearn_fast`) must be
+*verdict-identical* to the object-graph walk of
+:mod:`repro.core.unlearning`: same :class:`UnlearningReport` field by
+field, same variant switches in the same trees, bit-identical
+``predict_proba`` afterwards, and the same error message on rejection --
+through interleaved unlearn/predict campaigns, across snapshot
+round-trips, and after the small-batch loop's whole-batch rollback.
+
+The second half covers the DaRE-style ``topd`` knob: ``topd=0`` trains
+bit-identical models to the pre-knob code, deletions never touch the
+frozen random layers, and both the snapshot codec and WAL recovery
+preserve the random flags.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.core.exceptions import UnlearningError
+from repro.core.nodes import MaintenanceNode, SplitNode, iter_nodes
+from repro.core.unlearning import UnlearningReport
+from repro.datasets.registry import load_dataset
+from repro.evaluation.splits import train_test_split
+
+
+def _active_variants(model):
+    """(tree index, active_index) of every maintenance node, in DFS order."""
+    actives = []
+    for index, tree in enumerate(model.trees):
+        for node in iter_nodes(tree.root):
+            if isinstance(node, MaintenanceNode):
+                actives.append((index, node.active_index))
+    return actives
+
+
+def _variant_gains(model):
+    gains = []
+    for tree in model.trees:
+        for node in iter_nodes(tree.root):
+            if isinstance(node, MaintenanceNode):
+                gains.extend(variant.gain for variant in node.variants)
+    return gains
+
+
+def _split_counts(model):
+    """(n, n_plus, n_left, n_left_plus) of every split node, in DFS order."""
+    counts = []
+    for tree in model.trees:
+        for node in iter_nodes(tree.root):
+            if isinstance(node, SplitNode):
+                stats = node.stats
+                counts.append(
+                    (node.random, stats.n, stats.n_plus, stats.n_left, stats.n_left_plus)
+                )
+    return counts
+
+
+def _drive_to_rejection(model, record, max_iters=64):
+    """Accepted deletions of ``record`` before the fast path rejects it.
+
+    Deleting the same record repeatedly drains its leaf and split
+    quadrants until ``can_remove`` fails, which makes rejection
+    deterministic without hunting for a naturally rejectable record.
+    Returns ``None`` if no rejection occurs within ``max_iters``.
+    """
+    probe = copy.deepcopy(model)
+    _ = probe.packed.unlearn_pack()
+    for accepted in range(max_iters):
+        try:
+            probe.unlearn(record, allow_budget_overrun=True, path="fast")
+        except UnlearningError:
+            return accepted
+    return None
+
+
+def assert_fast_equivalent_campaign(model, train, test, rows, overrun=True):
+    """Delete the same rows via the fast path and the object path.
+
+    Both sides must agree on every report, every rejection message,
+    every maintenance-node state, and every interleaved prediction.
+    Returns the merged report for campaign-level assertions.
+    """
+    fast = copy.deepcopy(model)
+    obj = copy.deepcopy(model)
+    _ = fast.packed.unlearn_pack()  # pack resident -> "auto" takes the fast path
+    total = UnlearningReport()
+    for row in rows:
+        record = train.record(row)
+        obj_error = fast_error = None
+        try:
+            obj_report = obj.unlearn(record, allow_budget_overrun=overrun, path="object")
+        except UnlearningError as exc:
+            obj_error = str(exc)
+        try:
+            fast_report = fast.unlearn(record, allow_budget_overrun=overrun, path="fast")
+        except UnlearningError as exc:
+            fast_error = str(exc)
+        assert obj_error == fast_error
+        if obj_error is None:
+            assert fast_report == obj_report
+            total.merge(fast_report)
+        assert _active_variants(fast) == _active_variants(obj)
+        assert _variant_gains(fast) == _variant_gains(obj)
+        assert np.array_equal(
+            fast.predict_proba_batch(test), obj.predict_proba_batch(test)
+        )
+    assert _split_counts(fast) == _split_counts(obj)
+    assert fast.n_unlearned == obj.n_unlearned
+    return total
+
+
+class TestFastPathEquivalence:
+    def test_income_campaign(self, fitted_model, income_split):
+        train, test = income_split
+        assert_fast_equivalent_campaign(fitted_model, train, test, range(40))
+
+    def test_auto_dispatch_uses_fast_path(self, fitted_model, income_split):
+        train, test = income_split
+        auto = copy.deepcopy(fitted_model)
+        obj = copy.deepcopy(fitted_model)
+        _ = auto.packed.unlearn_pack()
+        for row in range(6):
+            record = train.record(row)
+            assert auto.unlearn(record, allow_budget_overrun=True) == obj.unlearn(
+                record, allow_budget_overrun=True, path="object"
+            )
+        assert np.array_equal(
+            auto.predict_proba_batch(test), obj.predict_proba_batch(test)
+        )
+
+    def test_campaign_with_variant_switches(self):
+        # Same forced-switch campaign as the batch-kernel suite: heart at
+        # a loose epsilon produces several variant switches over 300
+        # deletions, exercising re-scoring and repack, not only the
+        # no-switch path.
+        data = load_dataset("heart", n_rows=1200, seed=3)
+        train, test = train_test_split(data, test_fraction=0.2, seed=3)
+        model = HedgeCutClassifier(n_trees=4, epsilon=0.05, seed=5).fit(train)
+        total = assert_fast_equivalent_campaign(model, train, test, range(300))
+        assert total.variant_switches > 0, "campaign produced no variant switch"
+
+    def test_rejection_is_atomic(self, fitted_model, income_split):
+        # When a deletion is rejected, the fast path must leave the model
+        # (object counts AND packed mirrors) exactly as before.
+        train, test = income_split
+        model = fitted_model
+        _ = model.packed.unlearn_pack()
+        record = train.record(0)
+        accepted = _drive_to_rejection(model, record)
+        assert accepted is not None, "repeated deletion never hit a rejection"
+        for _ in range(accepted):
+            model.unlearn(record, allow_budget_overrun=True, path="fast")
+        before_counts = _split_counts(model)
+        before_proba = model.predict_proba_batch(test)
+        with pytest.raises(UnlearningError):
+            model.unlearn(record, allow_budget_overrun=True, path="fast")
+        assert _split_counts(model) == before_counts
+        assert np.array_equal(model.predict_proba_batch(test), before_proba)
+        # The pack was not left half-mutated either: the next accepted
+        # deletion still matches the object path.
+        assert_fast_equivalent_campaign(model, train, test, range(4))
+
+    def test_fast_path_after_snapshot_restore(self, fitted_model, income_split, tmp_path):
+        from repro.persistence.snapshot import load_snapshot, save_snapshot
+
+        train, test = income_split
+        save_snapshot(fitted_model, tmp_path / "m.npz")
+        restored, _ = load_snapshot(tmp_path / "m.npz")
+        assert_fast_equivalent_campaign(restored, train, test, range(20))
+
+    def test_small_batch_dispatch_matches_object_loop(self, fitted_model, income_split):
+        # Batches below ``small_batch_threshold`` route through the
+        # scalar small-batch loop; the result must equal the one-by-one
+        # object walk, report and predictions alike.
+        train, test = income_split
+        batched = copy.deepcopy(fitted_model)
+        obj = copy.deepcopy(fitted_model)
+        _ = batched.packed.unlearn_pack()
+        records = [train.record(row) for row in range(8)]
+        assert len(records) < batched.small_batch_threshold
+        batch_report = batched.unlearn_batch(records, allow_budget_overrun=True)
+        loop_report = UnlearningReport()
+        for record in records:
+            loop_report.merge(
+                obj.unlearn(record, allow_budget_overrun=True, path="object")
+            )
+        assert batch_report == loop_report
+        assert _active_variants(batched) == _active_variants(obj)
+        assert np.array_equal(
+            batched.predict_proba_batch(test), obj.predict_proba_batch(test)
+        )
+
+    def test_small_batch_rollback_is_whole_batch_atomic(self, fitted_model, income_split):
+        # A batch containing one unremovable record must leave the model
+        # untouched, even when earlier records in the batch were applied.
+        train, test = income_split
+        model = fitted_model
+        _ = model.packed.unlearn_pack()
+        record = train.record(0)
+        accepted = _drive_to_rejection(model, record)
+        assert accepted is not None, "repeated deletion never hit a rejection"
+        # One batch whose final repetition must be rejected after the
+        # earlier ones were already applied in this very batch.
+        records = [record] * (accepted + 1)
+        assert len(records) < model.small_batch_threshold
+        before_counts = _split_counts(model)
+        before_actives = _active_variants(model)
+        before_proba = model.predict_proba_batch(test)
+        with pytest.raises(UnlearningError):
+            model.unlearn_batch(records, allow_budget_overrun=True)
+        assert _split_counts(model) == before_counts
+        assert _active_variants(model) == before_actives
+        assert np.array_equal(model.predict_proba_batch(test), before_proba)
+        # The model remains fully usable on the fast path afterwards.
+        assert_fast_equivalent_campaign(model, train, test, range(4))
+
+    def test_invalid_path_rejected(self, fitted_model, income_split):
+        train, _ = income_split
+        with pytest.raises(ValueError, match="path"):
+            fitted_model.unlearn(train.record(0), path="warp")
+
+
+class TestTopdKnob:
+    def test_negative_topd_rejected(self):
+        with pytest.raises(ValueError, match="topd"):
+            HedgeCutClassifier(n_trees=2, topd=-1)
+
+    @pytest.mark.parametrize("trainer", ["recursive", "frontier"])
+    def test_topd_zero_is_bit_identical(self, income_split, trainer):
+        # topd=0 must reproduce the pre-knob trees exactly: same rng
+        # consumption, same splits, same predictions.
+        train, test = income_split
+        base = HedgeCutClassifier(n_trees=3, epsilon=0.01, trainer=trainer, seed=9).fit(
+            train
+        )
+        knob = HedgeCutClassifier(
+            n_trees=3, epsilon=0.01, trainer=trainer, topd=0, seed=9
+        ).fit(train)
+        assert _split_counts(base) == _split_counts(knob)
+        assert np.array_equal(
+            base.predict_proba_batch(test), knob.predict_proba_batch(test)
+        )
+        assert sum(t.counters.random_splits for t in knob.trees) == 0
+
+    @pytest.mark.parametrize("trainer", ["recursive", "frontier"])
+    def test_random_layers_confined_to_topd(self, income_split, trainer):
+        train, _ = income_split
+        topd = 2
+        model = HedgeCutClassifier(
+            n_trees=3, epsilon=0.01, trainer=trainer, topd=topd, seed=9
+        ).fit(train)
+        n_random = 0
+        for tree in model.trees:
+            stack = [(tree.root, 0)]
+            while stack:
+                node, depth = stack.pop()
+                if isinstance(node, MaintenanceNode):
+                    node = node.active
+                if isinstance(node, SplitNode):
+                    if node.random:
+                        assert depth < topd, "random split below the topd boundary"
+                        n_random += 1
+                    stack.append((node.left, depth + 1))
+                    stack.append((node.right, depth + 1))
+        assert n_random > 0, "topd=2 trained no random splits"
+        assert n_random == sum(t.counters.random_splits for t in model.trees)
+
+    @pytest.mark.parametrize("trainer", ["recursive", "frontier"])
+    def test_deletions_never_touch_random_layers(self, income_split, trainer):
+        # Random-node stats are frozen at training time: neither the fast
+        # nor the object path may decrement them, and the report counts
+        # the skipped traversals separately.
+        train, test = income_split
+        model = HedgeCutClassifier(
+            n_trees=3, epsilon=0.01, trainer=trainer, topd=2, seed=9
+        ).fit(train)
+        frozen_before = [c for c in _split_counts(model) if c[0]]
+        total = assert_fast_equivalent_campaign(model, train, test, range(30))
+        assert total.random_nodes_visited > 0
+        # Re-run the campaign on a fresh copy to inspect the final state.
+        survivor = copy.deepcopy(model)
+        _ = survivor.packed.unlearn_pack()
+        for row in range(30):
+            try:
+                survivor.unlearn(train.record(row), allow_budget_overrun=True)
+            except UnlearningError:
+                pass
+        frozen_after = [c for c in _split_counts(survivor) if c[0]]
+        assert frozen_after == frozen_before
+
+    def test_learn_one_never_touches_random_layers(self, income_split):
+        train, _ = income_split
+        model = HedgeCutClassifier(n_trees=3, epsilon=0.01, topd=2, seed=9).fit(train)
+        frozen_before = [c for c in _split_counts(model) if c[0]]
+        for row in range(10):
+            model.learn_one(train.record(row))
+        frozen_after = [c for c in _split_counts(model) if c[0]]
+        assert frozen_after == frozen_before
+
+    def test_snapshot_round_trip_preserves_random_flags(self, income_split, tmp_path):
+        from repro.persistence.snapshot import load_snapshot, save_snapshot
+
+        train, test = income_split
+        model = HedgeCutClassifier(n_trees=3, epsilon=0.01, topd=2, seed=9).fit(train)
+        save_snapshot(model, tmp_path / "m.npz")
+        restored, _ = load_snapshot(tmp_path / "m.npz")
+        assert _split_counts(restored) == _split_counts(model)
+        assert np.array_equal(
+            restored.predict_proba_batch(test), model.predict_proba_batch(test)
+        )
+        # The restored model unlearns identically on both paths.
+        assert_fast_equivalent_campaign(restored, train, test, range(10))
+
+    def test_wal_recovery_replays_to_same_state(self, income_split, tmp_path):
+        # Crash-recovery replays the WAL tail through the object path on a
+        # model without a pack; with topd layers present it must still
+        # land on the exact state the fast path produced before the crash.
+        from repro.persistence.store import ModelStore
+
+        train, test = income_split
+        model = HedgeCutClassifier(n_trees=3, epsilon=0.01, topd=2, seed=9).fit(train)
+        with ModelStore(tmp_path / "store") as store:
+            store.save_snapshot(model, wal_seq=0)
+            _ = model.packed.unlearn_pack()
+            for row in range(12):
+                record = train.record(row)
+                try:
+                    model.unlearn(record, allow_budget_overrun=True)
+                except UnlearningError:
+                    continue
+                store.wal.append(record, allow_budget_overrun=True)
+        with ModelStore(tmp_path / "store") as store:
+            recovered = store.recover()
+        assert _split_counts(recovered.model) == _split_counts(model)
+        assert _active_variants(recovered.model) == _active_variants(model)
+        assert np.array_equal(
+            recovered.model.predict_proba_batch(test), model.predict_proba_batch(test)
+        )

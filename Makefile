@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding profile-unlearn lint
+.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding bench-serving profile-unlearn lint
 
 ## Run the fast unit/property/integration suite (slow-marked tests are
 ## excluded via addopts in pyproject.toml).
@@ -47,6 +47,13 @@ profile-unlearn:
 ## in-run); machine-readable results land in BENCH_sharding.json.
 bench-sharding:
 	$(PYTHON) benchmarks/bench_sharding.py
+
+## Shared-memory serving benchmark (reader-fleet aggregate throughput vs
+## the in-process packed kernel, bit-identity asserted before/after a
+## 256-deletion campaign, core-scaled throughput bar enforced in-run);
+## machine-readable results land in BENCH_serving.json.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
 
 ## Static sanity: byte-compile everything (no third-party linter is
 ## vendored in the image).

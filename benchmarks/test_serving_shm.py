@@ -1,0 +1,118 @@
+"""Benchmark guard: shared-memory fleet equivalence and throughput bars.
+
+Smoke-scale rerun of the two claims ``BENCH_serving.json`` is built on,
+so ``make bench-smoke`` fails fast if either regresses:
+
+* the reader fleet's ``predict_proba`` is bit-identical to the in-process
+  packed kernel, before and after a WAL-ordered deletion campaign;
+* aggregate fleet throughput at batch 256 clears the core-scaled bar
+  (2.5x in-process at >= 4 usable cores; an anti-collapse floor on the
+  1-2 core containers CI tends to run on), with seqlock retries bounded
+  and counted rather than blocking anyone.
+
+The full artefact with the measured ratio lives in ``BENCH_serving.json``
+(``make bench-serving``); the correctness suite is
+``tests/serving/test_shm.py``.
+"""
+
+import copy
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import load_dataset
+from repro.evaluation.splits import train_test_split
+from repro.persistence.store import ModelStore
+from repro.serving.shm import ShmReplicatedServingEngine
+
+from benchmarks.bench_serving import (
+    _fleet_throughput,
+    _inprocess_throughput,
+    available_cores,
+    required_speedup,
+)
+
+N_READERS = 2
+BATCH_SIZE = 256
+N_DELETIONS = 64
+MIN_SECONDS = 0.4
+#: Smoke runs share the container with the rest of the bench session, so
+#: the core-scaled bar gets slack; the artefact run enforces it in full.
+SMOKE_SLACK = 0.5
+
+
+def test_fleet_is_bit_identical_and_fast_enough(benchmark, record_table):
+    data = load_dataset("credit", n_rows=4000, seed=3)
+    train, test = train_test_split(data, test_fraction=0.2, seed=3)
+    matrix = test.feature_matrix()
+    records = [train.record(row) for row in range(N_DELETIONS)]
+
+    model = HedgeCutClassifier(n_trees=8, epsilon=0.005, seed=5).fit(train)
+    reference = copy.deepcopy(model)
+
+    cores = available_cores()
+    bar = required_speedup(cores, N_READERS) * SMOKE_SLACK
+
+    with tempfile.TemporaryDirectory(prefix="hc-bench-shm-") as tmp:
+        with ShmReplicatedServingEngine(
+            model,
+            ModelStore(Path(tmp) / "store"),
+            n_readers=N_READERS,
+            consistency="strong",
+        ) as engine:
+            engine.broadcast_eval_matrix(matrix)
+
+            # Fleet equivalence, every reader, before the campaign.
+            expected = model.packed.predict_proba_rows(matrix)
+            for _ in range(N_READERS):
+                assert np.array_equal(engine.predict_proba_rows(matrix), expected)
+
+            inprocess = _inprocess_throughput(
+                model.packed, matrix, BATCH_SIZE, MIN_SECONDS
+            )
+            measurements = []
+
+            def run_fleet() -> None:
+                measurements.append(
+                    _fleet_throughput(engine, matrix.shape[0], BATCH_SIZE, MIN_SECONDS)
+                )
+
+            benchmark.pedantic(run_fleet, rounds=1, iterations=1)
+            fleet = measurements[0]
+            speedup = fleet["rows_per_sec"] / inprocess["rows_per_sec"]
+
+            # Deletion campaign through the writer; readers keep serving.
+            engine.unlearn_batch("guard", records, allow_budget_overrun=True)
+            for record in records:
+                reference.unlearn(record, allow_budget_overrun=True)
+            expected_after = reference.packed.predict_proba_rows(matrix)
+            for _ in range(N_READERS):
+                assert np.array_equal(
+                    engine.predict_proba_rows(matrix), expected_after
+                )
+
+            stats = engine.reader_stats()
+            retries = sum(s["seqlock_retries"] for s in stats)
+            assert engine.reader_respawns == 0
+            assert retries <= sum(s["n_reads"] for s in stats)
+
+            assert speedup >= bar, (
+                f"fleet only {speedup:.2f}x in-process "
+                f"(bar {bar:.2f}x on {cores} cores)"
+            )
+
+    record_table(
+        "serving: shared-memory fleet (smoke)",
+        "\n".join(
+            [
+                f"readers                 {N_READERS} on {cores} cores",
+                f"in-process rows/s       {inprocess['rows_per_sec']:,.0f}",
+                f"fleet rows/s            {fleet['rows_per_sec']:,.0f}",
+                f"speedup                 {speedup:.2f}x (bar {bar:.2f}x)",
+                f"campaign                {N_DELETIONS} deletions, bit-identical",
+                f"seqlock retries         {retries}",
+            ]
+        ),
+    )

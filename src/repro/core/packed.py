@@ -40,7 +40,7 @@ Crucially the pack stays valid **under unlearning**:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -48,7 +48,6 @@ from repro.core.nodes import Leaf, MaintenanceNode, SplitNode, TreeNode
 from repro.core.splits import CategoricalSplit, NumericSplit
 from repro.core.tree import HedgeCutTree
 from repro.dataprep.dataset import Dataset, FeatureSchema
-from repro.vectorized.masks import bitmask_membership_vector
 
 #: Sentinel feature id marking a leaf slot (same convention as CompiledTree).
 LEAF_MARKER = -1
@@ -64,9 +63,169 @@ def _route_row(split: NumericSplit | CategoricalSplit, width: int) -> np.ndarray
     if isinstance(split, NumericSplit):
         row[: split.cut] = True
     else:
-        table = bitmask_membership_vector(split.subset_mask, split.cardinality)
+        table = split.membership_table()
         row[: table.shape[0]] = table
     return row
+
+
+class PackedArrays(NamedTuple):
+    """The seven flat arrays (plus chunking policy) the traversal reads.
+
+    Decoupling the kernel from :class:`PackedEnsemble` lets any holder of
+    the arrays -- the in-process pack, or a reader process attached to the
+    shared-memory segments of :mod:`repro.serving.shm` -- run the exact
+    same traversal code, which is what makes the multi-process serving
+    fleet bit-identical to the in-process path by construction.
+    """
+
+    feature: np.ndarray
+    payload: np.ndarray
+    right: np.ndarray
+    route_flat: np.ndarray
+    tree_roots: np.ndarray
+    leaf_n: np.ndarray
+    leaf_n_plus: np.ndarray
+    chunk_rows: int
+
+
+def as_code_matrix(values: np.ndarray) -> np.ndarray:
+    """Validate/normalise a request payload to an int64 code matrix."""
+    matrix = np.asarray(values)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"expected a (n_rows, n_features) code matrix, got shape "
+            f"{matrix.shape}"
+        )
+    if matrix.dtype != np.int64:
+        matrix = matrix.astype(np.int64)
+    return matrix
+
+
+def walk_one(arrays: PackedArrays, values: Sequence[int], tree: int) -> int:
+    """Scalar root-to-leaf walk of one tree; returns the global leaf index."""
+    feature, payload, right = arrays.feature, arrays.payload, arrays.right
+    route_flat = arrays.route_flat
+    slot = int(arrays.tree_roots[tree])
+    while (feature_id := feature[slot]) != LEAF_MARKER:
+        goes_left = route_flat[payload[slot] + values[feature_id]]
+        slot = int(right[slot]) - int(goes_left)
+    return int(payload[slot])
+
+
+def leaf_matrix(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
+    """Route every (row, tree) pair to its leaf index.
+
+    Args:
+        arrays: the flat ensemble arrays (in-process or shared-memory).
+        values: ``(n_rows, n_features)`` integer code matrix.
+
+    Returns:
+        ``(n_rows, n_trees)`` matrix of global leaf indices.
+
+    The traversal is level-synchronous: each iteration advances the
+    whole still-active frontier one tree level with five 1-D gathers
+    (the feature id doubles as next level's leaf check), then compacts
+    the frontier as pairs reach their leaves. Rows are processed in
+    chunks to bound the state arrays to a cache-friendly working set.
+    """
+    n_rows, n_features = values.shape
+    tree_roots = arrays.tree_roots
+    n_trees = tree_roots.shape[0]
+    out = np.empty((n_rows, n_trees), dtype=np.intp)
+    out_flat = out.reshape(-1)
+    feature, payload, right = arrays.feature, arrays.payload, arrays.right
+    route_flat = arrays.route_flat
+    flat_values = np.ascontiguousarray(values).reshape(-1)
+    for start in range(0, n_rows, arrays.chunk_rows):
+        stop = min(start + arrays.chunk_rows, n_rows)
+        size = stop - start
+        cur = np.tile(tree_roots, size)
+        rowbase = np.repeat(
+            np.arange(start, stop, dtype=np.intp) * n_features, n_trees
+        )
+        pos = np.arange(
+            start * n_trees, stop * n_trees, dtype=np.intp
+        )
+        fid = feature[cur]
+        while True:
+            at_leaf = fid == LEAF_MARKER
+            if at_leaf.any():
+                out_flat[pos[at_leaf]] = payload[cur[at_leaf]]
+                live = ~at_leaf
+                cur = cur[live]
+                rowbase = rowbase[live]
+                pos = pos[live]
+                fid = fid[live]
+            if not cur.size:
+                break
+            codes = flat_values[rowbase + fid]
+            goes_left = route_flat[payload[cur] + codes]
+            cur = right[cur] - goes_left
+            fid = feature[cur]
+    return out
+
+
+def predict_votes_rows(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
+    """Per-row positive hard-vote counts (``int64``) for a code matrix.
+
+    Single-row requests skip the level-synchronous frontier machinery --
+    the tile/repeat/compaction setup costs more than the walk itself at
+    ``n == 1`` -- and take a plain per-tree scalar walk over the same flat
+    arrays instead. Tree-vote comparisons are integer exact, so both paths
+    return identical counts.
+    """
+    matrix = as_code_matrix(values)
+    leaf_n, leaf_n_plus = arrays.leaf_n, arrays.leaf_n_plus
+    if matrix.shape[0] == 1:
+        row = matrix[0]
+        votes = 0
+        for tree in range(arrays.tree_roots.shape[0]):
+            leaf = walk_one(arrays, row, tree)
+            if 2 * leaf_n_plus[leaf] > leaf_n[leaf]:
+                votes += 1
+        return np.asarray([votes], dtype=np.int64)
+    leaves = leaf_matrix(arrays, matrix)
+    return (2 * leaf_n_plus[leaves] > leaf_n[leaves]).sum(axis=1)
+
+
+def predict_rows(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
+    """Majority-vote labels (``uint8``) for a code matrix."""
+    n_trees = arrays.tree_roots.shape[0]
+    votes = predict_votes_rows(arrays, values)
+    return (2 * votes > n_trees).astype(np.uint8)
+
+
+def predict_proba_rows(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
+    """Soft-vote positive-class probabilities for a code matrix.
+
+    The per-tree probabilities are accumulated in tree order with
+    sequential float adds, exactly like the scalar
+    ``HedgeCutClassifier.predict_proba`` loop, so the results are
+    bit-for-bit identical to the per-record path. The single-row fast
+    path performs the same division (``n_plus / n`` as int64 operands)
+    and the same ordered float64 adds, so it is bit-identical too.
+    """
+    matrix = as_code_matrix(values)
+    n_trees = arrays.tree_roots.shape[0]
+    leaf_n, leaf_n_plus = arrays.leaf_n, arrays.leaf_n_plus
+    if matrix.shape[0] == 1:
+        row = matrix[0]
+        total = np.float64(0.0)
+        for tree in range(n_trees):
+            leaf = walk_one(arrays, row, tree)
+            count = leaf_n[leaf]
+            total = total + ((leaf_n_plus[leaf] / count) if count > 0 else 0.5)
+        return np.asarray([total / n_trees], dtype=np.float64)
+    leaves = leaf_matrix(arrays, matrix)
+    counts = leaf_n[leaves]
+    positives = leaf_n_plus[leaves]
+    probabilities = np.where(
+        counts > 0, positives / np.maximum(counts, 1), 0.5
+    )
+    total = np.zeros(matrix.shape[0], dtype=np.float64)
+    for tree in range(n_trees):
+        total += probabilities[:, tree]
+    return total / n_trees
 
 
 @dataclass
@@ -171,6 +330,7 @@ class PackedEnsemble:
         self._chunk_rows = chunk_rows
         self._segments = [_emit_segment(root, self._width) for root in self._roots]
         self._unlearn_pack = None
+        self.epoch = -1
         self._assemble()
 
     # ------------------------------------------------------------------ #
@@ -217,6 +377,28 @@ class PackedEnsemble:
             [leaf.n_plus for leaf in leaf_objects], dtype=np.int64
         )
         self._leaf_index = {id(leaf): i for i, leaf in enumerate(leaf_objects)}
+        # Structural epoch: bumped on every reassembly (initial build,
+        # repack after a variant switch, unpickle). The shared-memory
+        # writer compares epochs to decide between an O(n_leaves)
+        # leaf-value publish and a full structural re-publish.
+        self.epoch += 1
+
+    def arrays(self) -> PackedArrays:
+        """The current flat arrays as a :class:`PackedArrays` view.
+
+        The view aliases the live arrays (no copy); it goes stale on the
+        next reassembly, so callers should re-take it per operation.
+        """
+        return PackedArrays(
+            feature=self.feature,
+            payload=self.payload,
+            right=self.right,
+            route_flat=self.route_flat,
+            tree_roots=self.tree_roots,
+            leaf_n=self.leaf_n,
+            leaf_n_plus=self.leaf_n_plus,
+            chunk_rows=self._chunk_rows,
+        )
 
     @property
     def leaf_index(self) -> dict[int, int]:
@@ -315,6 +497,7 @@ class PackedEnsemble:
         self._chunk_rows = state["chunk_rows"]
         self._segments = state["segments"]
         self._unlearn_pack = None
+        self.epoch = -1
         self._assemble()
 
     # ------------------------------------------------------------------ #
@@ -322,66 +505,8 @@ class PackedEnsemble:
     # ------------------------------------------------------------------ #
 
     def _leaf_matrix(self, values: np.ndarray) -> np.ndarray:
-        """Route every (row, tree) pair to its leaf index.
-
-        Args:
-            values: ``(n_rows, n_features)`` integer code matrix.
-
-        Returns:
-            ``(n_rows, n_trees)`` matrix of global leaf indices.
-
-        The traversal is level-synchronous: each iteration advances the
-        whole still-active frontier one tree level with five 1-D gathers
-        (the feature id doubles as next level's leaf check), then compacts
-        the frontier as pairs reach their leaves. Rows are processed in
-        chunks to bound the state arrays to a cache-friendly working set.
-        """
-        n_rows, n_features = values.shape
-        n_trees = self.tree_roots.shape[0]
-        out = np.empty((n_rows, n_trees), dtype=np.intp)
-        out_flat = out.reshape(-1)
-        feature, payload, right = self.feature, self.payload, self.right
-        route_flat = self.route_flat
-        flat_values = np.ascontiguousarray(values).reshape(-1)
-        for start in range(0, n_rows, self._chunk_rows):
-            stop = min(start + self._chunk_rows, n_rows)
-            size = stop - start
-            cur = np.tile(self.tree_roots, size)
-            rowbase = np.repeat(
-                np.arange(start, stop, dtype=np.intp) * n_features, n_trees
-            )
-            pos = np.arange(
-                start * n_trees, stop * n_trees, dtype=np.intp
-            )
-            fid = feature[cur]
-            while True:
-                at_leaf = fid == LEAF_MARKER
-                if at_leaf.any():
-                    out_flat[pos[at_leaf]] = payload[cur[at_leaf]]
-                    live = ~at_leaf
-                    cur = cur[live]
-                    rowbase = rowbase[live]
-                    pos = pos[live]
-                    fid = fid[live]
-                if not cur.size:
-                    break
-                codes = flat_values[rowbase + fid]
-                goes_left = route_flat[payload[cur] + codes]
-                cur = right[cur] - goes_left
-                fid = feature[cur]
-        return out
-
-    @staticmethod
-    def _as_matrix(values: np.ndarray) -> np.ndarray:
-        matrix = np.asarray(values)
-        if matrix.ndim != 2:
-            raise ValueError(
-                f"expected a (n_rows, n_features) code matrix, got shape "
-                f"{matrix.shape}"
-            )
-        if matrix.dtype != np.int64:
-            matrix = matrix.astype(np.int64)
-        return matrix
+        """Route every (row, tree) pair to its leaf index (module kernel)."""
+        return leaf_matrix(self.arrays(), values)
 
     # ------------------------------------------------------------------ #
     # prediction over raw code matrices
@@ -389,10 +514,7 @@ class PackedEnsemble:
 
     def predict_rows(self, values: np.ndarray) -> np.ndarray:
         """Majority-vote labels for an ``(n_rows, n_features)`` code matrix."""
-        matrix = self._as_matrix(values)
-        leaves = self._leaf_matrix(matrix)
-        votes = (2 * self.leaf_n_plus[leaves] > self.leaf_n[leaves]).sum(axis=1)
-        return (2 * votes > self.n_trees).astype(np.uint8)
+        return predict_rows(self.arrays(), values)
 
     def predict_votes_rows(self, values: np.ndarray) -> np.ndarray:
         """Per-row positive hard-vote counts for a code matrix.
@@ -403,9 +525,7 @@ class PackedEnsemble:
         independent sub-ensembles add, so ``2 * sum(votes) > total_trees``
         reproduces the single-model majority rule exactly.
         """
-        matrix = self._as_matrix(values)
-        leaves = self._leaf_matrix(matrix)
-        return (2 * self.leaf_n_plus[leaves] > self.leaf_n[leaves]).sum(axis=1)
+        return predict_votes_rows(self.arrays(), values)
 
     def predict_proba_rows(self, values: np.ndarray) -> np.ndarray:
         """Soft-vote positive-class probabilities for a code matrix.
@@ -413,19 +533,11 @@ class PackedEnsemble:
         The per-tree probabilities are accumulated in tree order with
         sequential float adds, exactly like the scalar
         ``HedgeCutClassifier.predict_proba`` loop, so the results are
-        bit-for-bit identical to the per-record path.
+        bit-for-bit identical to the per-record path. Single-row requests
+        take the scalar per-tree walk (see the module-level
+        :func:`predict_proba_rows`), skipping the frontier setup.
         """
-        matrix = self._as_matrix(values)
-        leaves = self._leaf_matrix(matrix)
-        counts = self.leaf_n[leaves]
-        positives = self.leaf_n_plus[leaves]
-        probabilities = np.where(
-            counts > 0, positives / np.maximum(counts, 1), 0.5
-        )
-        total = np.zeros(matrix.shape[0], dtype=np.float64)
-        for tree in range(self.n_trees):
-            total += probabilities[:, tree]
-        return total / self.n_trees
+        return predict_proba_rows(self.arrays(), values)
 
     # ------------------------------------------------------------------ #
     # prediction over datasets
@@ -445,26 +557,22 @@ class PackedEnsemble:
 
     def predict_one(self, values: Sequence[int]) -> int:
         """Majority-vote label for one record (tight scalar loop)."""
+        arrays = self.arrays()
         votes = 0
         for tree in range(self.n_trees):
-            leaf = self._walk_one(values, tree)
+            leaf = walk_one(arrays, values, tree)
             votes += 1 if 2 * self.leaf_n_plus[leaf] > self.leaf_n[leaf] else 0
         return 1 if 2 * votes > self.n_trees else 0
 
     def predict_proba_one(self, values: Sequence[int]) -> float:
         """Soft-vote positive-class probability for one record."""
+        arrays = self.arrays()
         total = 0.0
         for tree in range(self.n_trees):
-            leaf = self._walk_one(values, tree)
+            leaf = walk_one(arrays, values, tree)
             count = self.leaf_n[leaf]
             total += (self.leaf_n_plus[leaf] / count) if count > 0 else 0.5
         return total / self.n_trees
 
     def _walk_one(self, values: Sequence[int], tree: int) -> int:
-        feature, payload, right = self.feature, self.payload, self.right
-        route_flat = self.route_flat
-        slot = int(self.tree_roots[tree])
-        while (feature_id := feature[slot]) != LEAF_MARKER:
-            goes_left = route_flat[payload[slot] + values[feature_id]]
-            slot = int(right[slot]) - int(goes_left)
-        return int(payload[slot])
+        return walk_one(self.arrays(), values, tree)

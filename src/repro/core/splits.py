@@ -319,9 +319,26 @@ class CategoricalSplit:
     def goes_left_value(self, value: int) -> bool:
         return bool((self.subset_mask >> value) & 1)
 
+    def membership_table(self) -> np.ndarray:
+        """The split's materialised goes-left lookup table (per instance).
+
+        Built once on first use and cached **on the split object** -- not in
+        a process-global cache -- so the table is a plain per-model array:
+        it travels with the model through ``deepcopy``/``fork``/``pickle``
+        (no cold-cache stall in freshly spawned serving processes) and can
+        never alias rows across models. Pack building pre-materialises it
+        for every categorical slot. The array is read-only.
+        """
+        table = getattr(self, "_membership", None)
+        if table is None:
+            table = bitmask_membership_vector(self.subset_mask, self.cardinality)
+            # Frozen dataclass: the cache slot is set through object.
+            # __setattr__; it is not a field, so equality/repr ignore it.
+            object.__setattr__(self, "_membership", table)
+        return table
+
     def goes_left_column(self, codes: np.ndarray) -> np.ndarray:
-        table = bitmask_membership_vector(self.subset_mask, self.cardinality)
-        return table[codes.astype(np.int64)]
+        return self.membership_table()[codes.astype(np.int64)]
 
     def count(self, codes: np.ndarray, labels: np.ndarray) -> SplitStats:
         counts = categorical_counts_vectorised(codes, labels, self.subset_mask)

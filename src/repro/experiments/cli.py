@@ -12,6 +12,11 @@ durable model store (:mod:`repro.persistence`)::
 
     hedgecut-experiments snapshot --store ./hedgecut-store --datasets income
     hedgecut-experiments recover --store ./hedgecut-store
+
+and ``serve`` drives a live deployment with a mixed workload, either
+in-process or as a shared-memory reader fleet::
+
+    hedgecut-experiments serve --serving shm --readers 4 --datasets income
 """
 
 from __future__ import annotations
@@ -240,8 +245,93 @@ def _run_recover(store_path: str) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(config: ExperimentConfig, args) -> str:
+    """Drive a serving deployment with a mixed predict/unlearn workload.
+
+    ``--serving inprocess`` runs the GIL-bound replicated engine,
+    ``--serving shm`` the shared-memory reader fleet (``--readers``
+    processes attached to one packed ensemble). Identical seeds produce
+    identical request schedules, so the two modes are directly comparable.
+    """
+    import tempfile
+
+    from repro.core.ensemble import HedgeCutClassifier
+    from repro.datasets.registry import load_dataset
+    from repro.persistence.store import ModelStore
+    from repro.serving.engine import ReplicatedServingEngine
+    from repro.serving.shm import ShmReplicatedServingEngine
+    from repro.serving.simulator import EngineServingSimulator, RequestMix
+
+    name = config.datasets[0]
+    dataset = load_dataset(name, n_rows=config.rows_for(name), seed=config.seed)
+    model = HedgeCutClassifier(
+        n_trees=config.n_trees,
+        epsilon=config.epsilon,
+        max_tries_per_split=config.max_tries_per_split,
+        trainer=config.trainer,
+        topd=config.topd,
+        seed=config.seed,
+    ).fit(dataset)
+    unlearn_pool = [dataset.record(row) for row in range(args.requests)]
+
+    with tempfile.TemporaryDirectory(prefix="hedgecut-serve-") as tmp:
+        store = ModelStore(f"{tmp}/store")
+        if args.serving == "shm":
+            engine = ShmReplicatedServingEngine(
+                model, store, n_readers=args.readers,
+                consistency=args.consistency,
+            )
+        else:
+            engine = ReplicatedServingEngine(
+                model, store, n_replicas=args.readers,
+                consistency=args.consistency,
+            )
+        with engine:
+            simulator = EngineServingSimulator(
+                engine,
+                prediction_pool=dataset,
+                unlearn_pool=unlearn_pool,
+                seed=config.seed,
+                record_latencies=True,
+                batch_size=args.batch,
+            )
+            report = simulator.run(
+                RequestMix(
+                    n_requests=args.requests,
+                    unlearn_fraction=args.unlearn_fraction,
+                )
+            )
+            lines = [
+                f"serving mode     {args.serving} "
+                f"({args.readers} {'readers' if args.serving == 'shm' else 'replicas'}, "
+                f"{args.consistency})",
+                f"  dataset          {name} ({dataset.n_rows} rows)",
+                f"  requests         {args.requests} "
+                f"({report.n_unlearnings} unlearnings, batch {args.batch})",
+                f"  throughput       {report.rows_per_second:,.0f} predictions/s "
+                f"({report.n_batches} dispatches)",
+                f"  batch p50        {report.latency_percentile(50, 'batch'):,.0f} us",
+            ]
+            if report.unlearning_latencies_us:
+                lines.append(
+                    f"  unlearn p50      "
+                    f"{report.latency_percentile(50, 'unlearning'):,.0f} us"
+                )
+            if args.serving == "shm":
+                stats = engine.reader_stats()
+                retries = sum(s["seqlock_retries"] for s in stats)
+                lines.append(
+                    f"  fleet            pids "
+                    f"{[s['pid'] for s in stats]}, "
+                    f"{sum(s['n_reads'] for s in stats)} reads, "
+                    f"{retries} seqlock retries, "
+                    f"{engine.reader_respawns} respawns"
+                )
+    return "\n".join(lines)
+
+
 #: Operational (non-experiment) commands accepted by the CLI.
-COMMANDS = ("snapshot", "recover")
+COMMANDS = ("snapshot", "recover", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -300,6 +390,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="SISA shard count for the snapshot command (1 = unsharded; "
         "recover detects shardedness from the store manifest)",
     )
+    parser.add_argument(
+        "--serving",
+        choices=["inprocess", "shm"],
+        default="inprocess",
+        help="deployment mode for the serve command: 'inprocess' replicates "
+        "the model inside one process, 'shm' serves one shared-memory "
+        "packed ensemble from --readers reader processes",
+    )
+    parser.add_argument(
+        "--readers",
+        type=int,
+        default=2,
+        help="reader processes (shm) or replicas (inprocess) for serve",
+    )
+    parser.add_argument(
+        "--consistency",
+        choices=["strong", "read_your_deletes", "eventual"],
+        default="strong",
+        help="read-consistency mode for the serve command",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=2000,
+        help="workload size for the serve command",
+    )
+    parser.add_argument(
+        "--unlearn-fraction",
+        type=float,
+        default=0.01,
+        help="fraction of serve requests that are deletions",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        help="prediction micro-batch size for the serve command",
+    )
     return parser
 
 
@@ -319,6 +447,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"== {args.experiment} ==", flush=True)
         if args.experiment == "snapshot":
             print(_run_snapshot(config, args.store))
+        elif args.experiment == "serve":
+            print(_run_serve(config, args))
         else:
             print(_run_recover(args.store))
         return 0

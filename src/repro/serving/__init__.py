@@ -16,6 +16,10 @@ system in three tiers:
 * :class:`MicroBatcher` -- the micro-batching front end of the engine:
   collects prediction requests up to a size/delay bound and answers each
   batch with a single packed-kernel call on the next replica.
+* :class:`ShmReplicatedServingEngine` -- the multi-process successor of
+  the replicated engine (:mod:`repro.serving.shm`): one packed ensemble
+  in shared memory, ``N`` reader processes attached zero-copy, deletions
+  published under a seqlock so readers never block the writer.
 * :class:`RetrainingPipeline` -- the heavyweight retrain-and-redeploy
   contrast of Section 1, with staged deployment, canary evaluation and
   rollback over a :class:`ModelRegistry`.
@@ -35,7 +39,15 @@ from repro.serving.pipeline import (
     PipelineCosts,
     RetrainingPipeline,
 )
+from repro.serving.shm import (
+    ReaderStats,
+    SharedEnsembleReader,
+    SharedPackedEnsemble,
+    ShmReplicatedServingEngine,
+    TornReadError,
+)
 from repro.serving.simulator import (
+    EngineServingSimulator,
     RequestMix,
     ServingSimulator,
     ThroughputReport,
@@ -50,8 +62,14 @@ __all__ = [
     "MicroBatchConfig",
     "MicroBatchStats",
     "PendingPrediction",
+    "EngineServingSimulator",
     "RequestMix",
     "ServingSimulator",
+    "SharedEnsembleReader",
+    "SharedPackedEnsemble",
+    "ShmReplicatedServingEngine",
+    "ReaderStats",
+    "TornReadError",
     "ThroughputReport",
     "RetrainingPipeline",
     "ModelRegistry",

@@ -249,3 +249,112 @@ class ServingSimulator:
                     dispatch()
         dispatch()
         report.total_seconds = time.perf_counter() - start
+
+
+class EngineServingSimulator:
+    """Drives a *serving engine* with the same mixed online workload.
+
+    Where :class:`ServingSimulator` measures the bare model,
+    this variant measures a deployment front end -- anything exposing the
+    engine surface (``predict_rows`` + ``unlearn``):
+    :class:`~repro.serving.engine.ReplicatedServingEngine` (in-process
+    replicas), :class:`~repro.serving.shm.ShmReplicatedServingEngine`
+    (shared-memory reader fleet) or a sharded composition of either. The
+    CLI's ``serve`` command uses it to compare ``--serving inprocess``
+    against ``--serving shm`` under an identical request schedule.
+
+    Args:
+        engine: the deployment under test (not owned; caller closes it).
+        prediction_pool: records predictions are drawn from.
+        unlearn_pool: training records available for deletion requests.
+        seed: request-schedule randomness (same seed + pools = same
+            schedule across engines, which is what makes A/B runs fair).
+        record_latencies: collect per-dispatch latency samples.
+        batch_size: micro-batch bound for prediction dispatches.
+    """
+
+    def __init__(
+        self,
+        engine,
+        prediction_pool: Dataset,
+        unlearn_pool: list[Record] | None = None,
+        seed: int | None = None,
+        record_latencies: bool = False,
+        batch_size: int = 64,
+    ) -> None:
+        if prediction_pool.n_rows == 0:
+            raise ValueError("prediction pool must not be empty")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.engine = engine
+        self._pool_matrix = prediction_pool.feature_matrix()
+        self.unlearn_pool = list(unlearn_pool or [])
+        self.seed = seed
+        self.record_latencies = record_latencies
+        self.batch_size = batch_size
+
+    def run(self, mix: RequestMix) -> ThroughputReport:
+        """Execute one workload against the engine (see
+        :meth:`ServingSimulator.run` for the scheduling rules)."""
+        rng = np.random.default_rng(self.seed)
+        n_scheduled = int(round(mix.n_requests * mix.unlearn_fraction))
+        if mix.unlearn_fraction > 0.0:
+            n_scheduled = max(1, n_scheduled)
+        n_unlearn = min(n_scheduled, len(self.unlearn_pool))
+        unlearn_slots = set(
+            int(slot)
+            for slot in rng.choice(mix.n_requests, size=n_unlearn, replace=False)
+        )
+        prediction_choices = rng.integers(
+            0, self._pool_matrix.shape[0], size=mix.n_requests
+        )
+        unlearn_queue = iter(self.unlearn_pool[:n_unlearn])
+
+        report = ThroughputReport(
+            n_predictions=mix.n_requests - n_unlearn,
+            n_unlearnings=n_unlearn,
+            total_seconds=0.0,
+        )
+
+        predict_rows = self.engine.predict_rows
+        unlearn = self.engine.unlearn
+        pool_matrix = self._pool_matrix
+        batch_size = self.batch_size
+        pending: list[int] = []
+
+        def dispatch() -> None:
+            if not pending:
+                return
+            rows = pool_matrix[np.asarray(pending, dtype=np.intp)]
+            batch_start = time.perf_counter()
+            predict_rows(rows)
+            elapsed = time.perf_counter() - batch_start
+            report.n_batches += 1
+            report.batch_seconds += elapsed
+            if self.record_latencies:
+                report.batch_latencies_us.append(elapsed * 1e6)
+            pending.clear()
+
+        start = time.perf_counter()
+        request_seq = 0
+        for slot in range(mix.n_requests):
+            if slot in unlearn_slots:
+                dispatch()
+                request_seq += 1
+                request_id = f"sim-{request_seq}"
+                if self.record_latencies:
+                    request_start = time.perf_counter()
+                    unlearn(request_id, next(unlearn_queue),
+                            allow_budget_overrun=True)
+                    elapsed = (time.perf_counter() - request_start) * 1e6
+                    report.unlearning_latencies_us.append(elapsed)
+                else:
+                    unlearn(request_id, next(unlearn_queue),
+                            allow_budget_overrun=True)
+            else:
+                pending.append(int(prediction_choices[slot]))
+                if len(pending) >= batch_size:
+                    dispatch()
+        dispatch()
+        report.total_seconds = time.perf_counter() - start
+        return report

@@ -22,6 +22,8 @@ behind the aggregated prediction interface of
 
 from __future__ import annotations
 
+import os
+import secrets
 from typing import Sequence
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.core.exceptions import HedgeCutError
 from repro.dataprep.dataset import Dataset, Record
 from repro.serving.audit import AuditEntry
 from repro.serving.engine import ReplicatedServingEngine
+from repro.serving.shm import ShmReplicatedServingEngine
 from repro.sharding.model import ShardedHedgeCut
 from repro.sharding.store import ShardedModelStore
 
@@ -42,12 +45,23 @@ class ShardedServingEngine:
             primary replicas of the per-shard engines.
         store: sharded store providing one WAL + snapshot namespace per
             shard; its manifest must agree with the model's partitioner.
-        n_replicas: replicas per shard (including the primary).
+        n_replicas: replicas per shard (including the primary). Under
+            ``serving="shm"`` this is the shard's reader-process count.
         consistency: read-consistency mode of every shard engine, see
             :data:`~repro.serving.engine.CONSISTENCY_MODES`.
         applied_seqs: per-shard WAL sequence numbers already reflected in
             the model (non-zero when resuming from recovery).
+        serving: ``"inprocess"`` (deep-copied replicas inside this
+            process, the default) or ``"shm"`` (one
+            :class:`~repro.serving.shm.ShmReplicatedServingEngine` per
+            shard: the shard's pack lives in its own shared-memory
+            segment family ``{base}-s{shard_id}``, served by
+            ``n_replicas`` reader processes).
+        segment_name: base shared-memory name under ``serving="shm"``;
+            defaults to a unique per-deployment name.
     """
+
+    SERVING_MODES = ("inprocess", "shm")
 
     def __init__(
         self,
@@ -56,6 +70,8 @@ class ShardedServingEngine:
         n_replicas: int = 1,
         consistency: str = "strong",
         applied_seqs: list[int] | None = None,
+        serving: str = "inprocess",
+        segment_name: str | None = None,
     ) -> None:
         if model.n_shards != store.n_shards:
             raise HedgeCutError(
@@ -66,21 +82,43 @@ class ShardedServingEngine:
                 "model and store disagree on the record->shard routing "
                 "(partitioner salt mismatch)"
             )
+        if serving not in self.SERVING_MODES:
+            raise ValueError(
+                f"serving must be one of {self.SERVING_MODES}, got {serving!r}"
+            )
         self.model = model
         self.store = store
-        self.engines: list[ReplicatedServingEngine] = [
-            ReplicatedServingEngine(
-                model=shard_model,
-                store=shard_store,
-                n_replicas=n_replicas,
-                consistency=consistency,
-                applied_seq=applied_seqs[shard_id] if applied_seqs else None,
-                shard_id=shard_id,
-            )
-            for shard_id, (shard_model, shard_store) in enumerate(
-                zip(model.shards, store.shard_stores)
-            )
-        ]
+        self.serving = serving
+        if serving == "shm":
+            base = segment_name or f"hcs-{os.getpid():x}-{secrets.token_hex(4)}"
+            self.engines = [
+                ShmReplicatedServingEngine(
+                    model=shard_model,
+                    store=shard_store,
+                    n_readers=n_replicas,
+                    consistency=consistency,
+                    applied_seq=applied_seqs[shard_id] if applied_seqs else None,
+                    shard_id=shard_id,
+                    segment_name=f"{base}-s{shard_id}",
+                )
+                for shard_id, (shard_model, shard_store) in enumerate(
+                    zip(model.shards, store.shard_stores)
+                )
+            ]
+        else:
+            self.engines = [
+                ReplicatedServingEngine(
+                    model=shard_model,
+                    store=shard_store,
+                    n_replicas=n_replicas,
+                    consistency=consistency,
+                    applied_seq=applied_seqs[shard_id] if applied_seqs else None,
+                    shard_id=shard_id,
+                )
+                for shard_id, (shard_model, shard_store) in enumerate(
+                    zip(model.shards, store.shard_stores)
+                )
+            ]
 
     @classmethod
     def recover(
@@ -88,11 +126,15 @@ class ShardedServingEngine:
         store: ShardedModelStore,
         n_replicas: int = 1,
         consistency: str = "strong",
+        serving: str = "inprocess",
+        segment_name: str | None = None,
     ) -> "ShardedServingEngine":
         """Restart the whole service after a crash.
 
         Every shard replays its own snapshot + WAL tail; the reassembled
-        model serves again with routing identical to before the crash.
+        model serves again with routing identical to before the crash
+        (under ``serving="shm"`` the shared segments are re-materialised
+        from the replayed state, reclaiming any orphans).
         """
         recovered = store.recover()
         return cls(
@@ -101,6 +143,8 @@ class ShardedServingEngine:
             n_replicas=n_replicas,
             consistency=consistency,
             applied_seqs=recovered.wal_seqs,
+            serving=serving,
+            segment_name=segment_name,
         )
 
     # ------------------------------------------------------------------ #

@@ -9,7 +9,6 @@ SIMD kernel operates on.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Iterable
 
 import numpy as np
@@ -41,7 +40,6 @@ def bitmask_to_subset(mask: int) -> frozenset[int]:
     )
 
 
-@lru_cache(maxsize=65536)
 def bitmask_membership_vector(mask: int, cardinality: int) -> np.ndarray:
     """Boolean lookup table ``table[code] -> code in mask`` of given length.
 
@@ -49,10 +47,17 @@ def bitmask_membership_vector(mask: int, cardinality: int) -> np.ndarray:
     column at once, mirroring how the SIMD version tests four 32-bit values
     per instruction.
 
-    The result is memoised per ``(mask, cardinality)``: a trained ensemble
-    tests the same few thousand distinct subsets over and over (every batch
-    visit of every categorical slot), so the table is built once and shared.
-    The cached array is read-only; callers that need to mutate it must copy.
+    The function is deliberately **uncached**: it used to sit behind a
+    process-global ``lru_cache``, which meant (a) a freshly spawned serving
+    process started with a cold cache and paid the materialisation stalls
+    on its first categorical-heavy request, and (b) every model in the
+    process transparently shared cached rows keyed only by
+    ``(mask, cardinality)``. Hot callers now pre-materialise the table
+    per *split instance* instead (:meth:`repro.core.splits.
+    CategoricalSplit.membership_table`), so the rows are plain per-model
+    arrays that travel with the model into forked/spawned workers and can
+    never alias across models. The returned array is read-only; callers
+    that need to mutate it must copy.
     """
     codes = np.arange(cardinality, dtype=np.int64)
     table = ((mask >> codes) & 1).astype(bool)

@@ -179,6 +179,50 @@ class TestUnlearningMaintenance:
         )
 
 
+class TestSingleRowFastPath:
+    """The n==1 scalar walk must be bit-identical to the chunked kernel.
+
+    Single-record requests dominate online serving; the packed entry
+    points special-case them with a plain per-tree walk instead of the
+    level-synchronous frontier machinery. Equivalence is exact, not
+    approximate: the fast path uses the same int64 leaf counts and the
+    same float64 operation order as the vectorised expression.
+    """
+
+    def test_single_row_matrices_match_batch_slices(
+        self, fitted_model_session, income_split
+    ):
+        _, test = income_split
+        packed = fitted_model_session.packed
+        matrix = test.feature_matrix()
+        batch_probas = packed.predict_proba_rows(matrix)
+        batch_labels = packed.predict_rows(matrix)
+        batch_votes = packed.predict_votes_rows(matrix)
+        for row in range(0, test.n_rows, 9):
+            single = matrix[row : row + 1]
+            assert packed.predict_proba_rows(single)[0] == batch_probas[row]
+            assert packed.predict_rows(single)[0] == batch_labels[row]
+            assert packed.predict_votes_rows(single)[0] == batch_votes[row]
+
+    def test_single_row_dtypes_match_batch_path(self, fitted_model_session, income_split):
+        _, test = income_split
+        packed = fitted_model_session.packed
+        single = test.feature_matrix()[:1]
+        assert packed.predict_proba_rows(single).dtype == np.float64
+        assert packed.predict_rows(single).dtype == np.uint8
+        assert packed.predict_votes_rows(single).dtype == np.int64
+
+    def test_fast_path_survives_unlearning(self, fitted_model, income_split):
+        train, test = income_split
+        for row in range(10):
+            fitted_model.unlearn(train.record(row), allow_budget_overrun=True)
+        packed = fitted_model.packed
+        matrix = test.feature_matrix()
+        batch = packed.predict_proba_rows(matrix)
+        for row in range(0, test.n_rows, 13):
+            assert packed.predict_proba_rows(matrix[row : row + 1])[0] == batch[row]
+
+
 class TestSnapshotRoundTrip:
     def test_restore_then_pack_is_identical(self, fitted_model, income_split, tmp_path):
         train, test = income_split

@@ -202,6 +202,31 @@ class TestCategoricalSplit:
         assert "colour" in described
         assert "0" in described and "2" in described
 
+    def test_membership_table_is_cached_per_instance(self):
+        # The table lives on the split object, not in a process-global
+        # cache: two splits with identical (mask, cardinality) own separate
+        # arrays, so models can never alias rows across each other.
+        split = CategoricalSplit(feature=0, subset_mask=0b0110, cardinality=4)
+        twin = CategoricalSplit(feature=0, subset_mask=0b0110, cardinality=4)
+        assert split.membership_table() is split.membership_table()
+        assert split.membership_table() is not twin.membership_table()
+        assert np.array_equal(split.membership_table(), twin.membership_table())
+
+    def test_membership_table_is_read_only(self):
+        split = CategoricalSplit(feature=0, subset_mask=0b0110, cardinality=4)
+        with pytest.raises(ValueError):
+            split.membership_table()[0] = True
+
+    def test_membership_cache_survives_pickling(self):
+        import copy
+        import pickle
+
+        split = CategoricalSplit(feature=0, subset_mask=0b0110, cardinality=4)
+        split.membership_table()
+        for clone in (pickle.loads(pickle.dumps(split)), copy.deepcopy(split)):
+            assert clone == split
+            assert np.array_equal(clone.membership_table(), split.membership_table())
+
 
 class TestCountSplit:
     def test_count_split_on_dataset(self):

@@ -126,6 +126,36 @@ class TestCrashRecovery:
         with pytest.raises(HedgeCutError):
             ModelStore(tmp_path / "empty").recover()
 
+    @pytest.mark.shm
+    def test_shm_engine_rematerialises_segments_from_store(
+        self, tmp_path, noisy_setup
+    ):
+        """The shared-memory fleet recovers through the same snapshot +
+        WAL-tail protocol: the store's replayed state is re-published into
+        fresh segments and the reader processes serve it bit-identically."""
+        from repro.serving.shm import ShmReplicatedServingEngine
+
+        model, dataset = noisy_setup
+        _crash_after_k_deletions(tmp_path / "store", model, dataset, k=7)
+
+        uninterrupted = copy.deepcopy(model)
+        for row in range(7):
+            uninterrupted.unlearn(dataset.record(row), allow_budget_overrun=True)
+
+        with ShmReplicatedServingEngine.recover(
+            ModelStore(tmp_path / "store"), n_readers=2
+        ) as engine:
+            assert engine.durable_seq == 7
+            assert engine.staleness() == [0, 0]
+            assert np.array_equal(
+                engine.predict_batch(dataset),
+                uninterrupted.predict_batch(dataset),
+            )
+            assert np.array_equal(
+                engine.predict_proba_batch(dataset),
+                uninterrupted.predict_proba_batch(dataset),
+            )
+
 
 def _crash_after_batched_campaign(store_dir, model, dataset, ops, snapshot_after=0):
     """Like :func:`_crash_after_k_deletions`, but mixing single-record

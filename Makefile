@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding bench-serving profile-unlearn lint
+.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding bench-serving bench-online profile-unlearn lint
 
 ## Run the fast unit/property/integration suite (slow-marked tests are
 ## excluded via addopts in pyproject.toml).
@@ -54,6 +54,14 @@ bench-sharding:
 ## machine-readable results land in BENCH_serving.json.
 bench-serving:
 	$(PYTHON) benchmarks/bench_serving.py
+
+## Online mixed-stream benchmark (deferred vs eager maintenance on an
+## interleaved insert/delete/predict workload; deferred + flush == eager
+## bit-identity and crash recovery asserted in-run before timing, the
+## >= 2x deletion-throughput bar enforced); machine-readable results
+## land in BENCH_online.json.
+bench-online:
+	$(PYTHON) benchmarks/bench_online.py
 
 ## Static sanity: byte-compile everything (no third-party linter is
 ## vendored in the image).

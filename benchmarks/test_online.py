@@ -1,0 +1,93 @@
+"""Benchmark guard: deferred-maintenance equivalence and throughput bars.
+
+Smoke-scale rerun of the claims ``BENCH_online.json`` is built on, so
+``make bench-smoke`` fails fast if either regresses:
+
+* deferred + flush is bit-identical to the eager twin over a mixed
+  insert/single-delete/batch-delete schedule, with equal cumulative
+  variant-switch counts -- asserted BEFORE anything is timed;
+* on the interleaved online workload, deferred deletion throughput
+  clears the slacked bar (the full 2x bar belongs to the artefact run:
+  at smoke scale the fixed per-request costs the two modes share --
+  record unwrap, the validating decrement walk -- dilute the re-scoring
+  work the deferred path skips).
+
+The full artefact with the measured ratio lives in ``BENCH_online.json``
+(``make bench-online``); the correctness suite is
+``tests/core/test_deferred.py``.
+"""
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import load_dataset
+from repro.evaluation.splits import train_test_split
+from repro.serving.simulator import OnlineMix
+
+from benchmarks.bench_online import (
+    MIN_DEFERRED_SPEEDUP,
+    assert_equivalence,
+    run_workload,
+)
+
+N_ROWS = 4000
+N_TREES = 8
+EPSILON = 0.002
+N_REQUESTS = 1200
+EQUIVALENCE_OPS = 80
+#: Smoke scale shrinks the re-scoring share of each deletion, so the
+#: 2x artefact bar gets slack; ``make bench-online`` enforces it in full.
+SMOKE_SLACK = 0.6
+
+
+def test_deferred_is_equivalent_and_fast_enough(benchmark, record_table):
+    data = load_dataset("credit", n_rows=N_ROWS, seed=3)
+    train, test = train_test_split(data, test_fraction=0.2, seed=3)
+    matrix = test.feature_matrix()
+
+    base = HedgeCutClassifier(n_trees=N_TREES, epsilon=EPSILON, seed=5).fit(train)
+    census = base.node_census()
+    bar = MIN_DEFERRED_SPEEDUP * SMOKE_SLACK
+
+    # Equivalence first, timing second: the throughput numbers below are
+    # only meaningful if deferred + flush lands on the eager model.
+    equivalence = assert_equivalence(base, train, matrix, EQUIVALENCE_OPS)
+
+    mix = OnlineMix(
+        n_requests=N_REQUESTS, delete_fraction=0.25, insert_fraction=0.05
+    )
+    n_deletes = int(N_REQUESTS * mix.delete_fraction) + 1
+    n_inserts = int(N_REQUESTS * mix.insert_fraction) + 1
+    delete_pool = [train.record(row) for row in range(n_deletes)]
+    insert_pool = [train.record(train.n_rows - 1 - row) for row in range(n_inserts)]
+
+    eager = run_workload(base, "eager", test, delete_pool, insert_pool, mix, 5)
+    measurements = []
+
+    def run_deferred() -> None:
+        measurements.append(
+            run_workload(base, "deferred", test, delete_pool, insert_pool, mix, 5)
+        )
+
+    benchmark.pedantic(run_deferred, rounds=1, iterations=1)
+    deferred = measurements[0]
+    speedup = deferred["deletions_per_sec"] / eager["deletions_per_sec"]
+
+    assert speedup >= bar, (
+        f"deferred only {speedup:.2f}x eager deletion throughput "
+        f"(smoke bar {bar:.2f}x)"
+    )
+
+    record_table(
+        "online: deferred maintenance (smoke)",
+        "\n".join(
+            [
+                f"maintenance nodes       {census.n_maintenance_nodes}",
+                f"equivalence             {equivalence['n_ops']} mixed ops, "
+                f"{equivalence['variant_switches']} switches, bit-identical",
+                f"eager deletions/s       {eager['deletions_per_sec']:,.0f}",
+                f"deferred deletions/s    {deferred['deletions_per_sec']:,.0f}",
+                f"speedup                 {speedup:.2f}x (bar {bar:.2f}x)",
+                f"deferred flush p99      {deferred['flush_p99_us']:.0f}us",
+                f"max staleness           {deferred['staleness_max_visits']} visits",
+            ]
+        ),
+    )

@@ -22,12 +22,17 @@ from repro.core.exceptions import (
     NotFittedError,
     UnlearningError,
 )
+from repro.core.deferred import MaintenanceFlushReport, flush_deferred
 from repro.core.nodes import Leaf, MaintenanceNode, NodeCensus, SplitNode, census
 from repro.core.packed import PackedEnsemble
 from repro.core.params import HedgeCutParams
 from repro.core.tree import HedgeCutTree
 from repro.core.unlearn_batch import unlearn_batch_packed
-from repro.core.unlearn_fast import unlearn_one_packed, unlearn_small_batch
+from repro.core.unlearn_fast import (
+    learn_one_packed,
+    unlearn_one_packed,
+    unlearn_small_batch,
+)
 from repro.core.unlearning import (
     UnlearningReport,
     apply_unlearn,
@@ -96,6 +101,21 @@ class HedgeCutClassifier:
         topd: number of random, statistics-frozen top levels per tree
             (DaRE-style), see :class:`HedgeCutParams`. ``0`` (default)
             disables the knob.
+        maintenance: ``"eager"`` (default) re-scores every affected
+            maintenance node inside each write, exactly as before --
+            bit-identical to all previous behaviour. ``"deferred"``
+            tags affected nodes in the pack's pending log instead
+            (DynFrs-style): statistic deltas and leaf updates still
+            apply immediately, so predictions against the *current*
+            structure stay exact, and the postponed re-scoring runs at
+            the next :meth:`flush_maintenance`, at the next prediction
+            (unless :attr:`flush_on_predict` is cleared), at the next
+            eager write, or when a node's pending count trips
+            ``maintenance_budget``. ``deferred + flush`` is
+            property-tested bit-identical to eager.
+        maintenance_budget: per-node pending-visit bound in deferred
+            mode; a visited node at or past the bound is flushed inline
+            (``None`` = unbounded).
         seed: ensemble random seed.
 
     Example::
@@ -128,8 +148,24 @@ class HedgeCutClassifier:
         max_maintenance_depth: int | None = 1,
         topd: int = 0,
         n_jobs: int = 1,
+        maintenance: str = "eager",
+        maintenance_budget: int | None = None,
         seed: int | None = None,
     ) -> None:
+        if maintenance not in ("eager", "deferred"):
+            raise ValueError(
+                f"maintenance must be 'eager' or 'deferred', got {maintenance!r}"
+            )
+        #: Default write-path maintenance mode; any write call can
+        #: override it per-operation via its ``maintenance=`` argument.
+        self.maintenance = maintenance
+        #: Per-node pending bound for deferred mode (``None`` = unbounded).
+        self.maintenance_budget = maintenance_budget
+        #: When True (default) every prediction entry point drains the
+        #: pending maintenance log first, so reads never observe stale
+        #: variant choices. Clear it to let staleness accrue (measured
+        #: serving experiments) and flush explicitly.
+        self.flush_on_predict = True
         self.params = HedgeCutParams(
             n_trees=n_trees,
             epsilon=epsilon,
@@ -246,9 +282,25 @@ class HedgeCutClassifier:
             self._packed = PackedEnsemble(self._trees, self.schema)
         return self._packed
 
+    def _maybe_flush_for_read(self) -> None:
+        """Drain pending deferred maintenance before serving a read.
+
+        Lazy trigger (a) of the deferred design: a prediction must not
+        observe a variant choice that postponed re-scoring would have
+        revised. Flushing everything pending on any read is the
+        conservative form of "flush the tagged nodes the batch routes
+        through" -- it keeps reads exactly eager-equivalent without
+        per-row tag probes on the hot path. No-op in eager mode, when
+        nothing is pending, or when :attr:`flush_on_predict` is cleared
+        (accepted-staleness serving).
+        """
+        if self.flush_on_predict and self._has_pending_maintenance():
+            self.flush_maintenance()
+
     def predict(self, record: Record | Sequence[int] | np.ndarray) -> int:
         """Majority-vote label for one encoded record."""
         self._require_fitted()
+        self._maybe_flush_for_read()
         values = _as_values(record)
         votes = 0
         for index in range(len(self._trees)):
@@ -258,6 +310,7 @@ class HedgeCutClassifier:
     def predict_proba(self, record: Record | Sequence[int] | np.ndarray) -> float:
         """Mean positive-class probability across the trees (soft vote)."""
         self._require_fitted()
+        self._maybe_flush_for_read()
         values = _as_values(record)
         total = 0.0
         for index in range(len(self._trees)):
@@ -267,6 +320,7 @@ class HedgeCutClassifier:
     def predict_batch(self, dataset: Dataset) -> np.ndarray:
         """Majority-vote labels for a whole dataset (packed kernel)."""
         self._require_fitted()
+        self._maybe_flush_for_read()
         return self.packed.predict_batch(dataset)
 
     def predict_proba_batch(self, dataset: Dataset) -> np.ndarray:
@@ -277,6 +331,7 @@ class HedgeCutClassifier:
         same order), at batch speed.
         """
         self._require_fitted()
+        self._maybe_flush_for_read()
         return self.packed.predict_proba_batch(dataset)
 
     def predict_rows(self, values: np.ndarray) -> np.ndarray:
@@ -286,11 +341,13 @@ class HedgeCutClassifier:
         collects raw encoded requests rather than :class:`Dataset` objects.
         """
         self._require_fitted()
+        self._maybe_flush_for_read()
         return self.packed.predict_rows(values)
 
     def predict_proba_rows(self, values: np.ndarray) -> np.ndarray:
         """Soft-vote probabilities for an ``(n_rows, n_features)`` code matrix."""
         self._require_fitted()
+        self._maybe_flush_for_read()
         return self.packed.predict_proba_rows(values)
 
     def predict_votes_rows(self, values: np.ndarray) -> np.ndarray:
@@ -301,6 +358,7 @@ class HedgeCutClassifier:
         across shards and apply the majority threshold once, globally.
         """
         self._require_fitted()
+        self._maybe_flush_for_read()
         return self.packed.predict_votes_rows(values)
 
     def predict_batch_legacy(self, dataset: Dataset) -> np.ndarray:
@@ -311,6 +369,7 @@ class HedgeCutClassifier:
         should use :meth:`predict_batch`.
         """
         self._require_fitted()
+        self._maybe_flush_for_read()
         votes = np.zeros(dataset.n_rows, dtype=np.int64)
         for index in range(len(self._trees)):
             votes += self._compiled_tree(index).predict_batch(dataset)
@@ -335,11 +394,73 @@ class HedgeCutClassifier:
         self._require_fitted()
         return max(0, self._deletion_budget - self._n_unlearned)
 
+    # ------------------------------------------------------------------ #
+    # deferred maintenance (lazy tag-and-defer mode)
+    # ------------------------------------------------------------------ #
+
+    def _resolve_maintenance(self, maintenance: str | None) -> bool:
+        """Resolve a per-call maintenance override to ``deferred?``."""
+        mode = self.maintenance if maintenance is None else maintenance
+        if mode not in ("eager", "deferred"):
+            raise ValueError(
+                f"maintenance must be 'eager' or 'deferred', got {mode!r}"
+            )
+        return mode == "deferred"
+
+    def _has_pending_maintenance(self) -> bool:
+        """Whether deferred visits await a flush (without building packs)."""
+        packed = self._packed
+        if packed is None:
+            return False
+        pack = packed._unlearn_pack
+        return pack is not None and bool(pack.pending_mnode)
+
+    @property
+    def pending_maintenance_nodes(self) -> int:
+        """Tagged maintenance nodes awaiting a deferred flush."""
+        packed = self._packed
+        if packed is None or packed._unlearn_pack is None:
+            return 0
+        return packed._unlearn_pack.n_pending_nodes
+
+    @property
+    def pending_maintenance_visits(self) -> int:
+        """Pending (node, operation) visits awaiting a deferred flush.
+
+        This is the model's staleness measure: the number of postponed
+        re-scores a flush will replay.
+        """
+        packed = self._packed
+        if packed is None or packed._unlearn_pack is None:
+            return 0
+        return packed._unlearn_pack.n_pending_visits
+
+    def flush_maintenance(self) -> MaintenanceFlushReport:
+        """Drain the pending maintenance log (lazy trigger (b)).
+
+        Replays every postponed re-score in arrival order through the
+        vectorised flush kernel, repacks the trees whose active variant
+        ended up different, and untags all nodes. After the flush the
+        model is bit-identical -- gains, active variants, probabilities,
+        cumulative switch counts -- to one that had run the same
+        operations eagerly. No-op (empty report) when nothing is
+        pending.
+        """
+        if not self._has_pending_maintenance():
+            return MaintenanceFlushReport()
+        assert self._packed is not None
+        report = flush_deferred(self._packed.unlearn_pack())
+        for index in report.switched_trees:
+            self._compiled[index] = None
+            self._packed.repack_tree(index)
+        return report
+
     def unlearn(
         self,
         record: Record,
         allow_budget_overrun: bool = False,
         path: str = "auto",
+        maintenance: str | None = None,
     ) -> UnlearningReport:
         """Remove one training record from the deployed model, in place.
 
@@ -361,21 +482,39 @@ class HedgeCutClassifier:
                 the fast path, building the packs if needed; ``"object"``
                 forces the reference object walk. All paths produce
                 bit-identical models and reports.
+            maintenance: per-call override of the model's maintenance
+                mode (``"eager"``/``"deferred"``; ``None`` = the model
+                default). Deferred deletions always go through the
+                packed fast path.
 
         Returns:
-            an :class:`UnlearningReport` aggregated over all trees.
+            an :class:`UnlearningReport` aggregated over all trees. A
+            deferred deletion's ``variant_switches`` counts only
+            budget-trip flushes; the cumulative count catches up at the
+            next flush.
         """
         if path not in ("auto", "fast", "object"):
             raise ValueError(f"path must be 'auto', 'fast' or 'object', got {path!r}")
         self._require_fitted()
+        deferred = self._resolve_maintenance(maintenance)
+        if deferred and path == "object":
+            raise ValueError(
+                "deferred maintenance requires the packed write path; "
+                "use path='auto' or path='fast'"
+            )
         self._validate_unlearn_record(record)
         if self._n_unlearned >= self._deletion_budget and not allow_budget_overrun:
             raise DeletionBudgetExhausted(
                 f"the deletion budget of {self._deletion_budget} records is "
                 f"exhausted; retrain the model or pass allow_budget_overrun=True"
             )
-        if path == "fast" or (path == "auto" and self._packed is not None):
-            return self._unlearn_one_fast(record)
+        if not deferred:
+            # Lazy trigger: an eager write drains the pending log first,
+            # so its own re-scoring starts from flushed (eager-identical)
+            # gains and active variants.
+            self.flush_maintenance()
+        if path == "fast" or deferred or (path == "auto" and self._packed is not None):
+            return self._unlearn_one_fast(record, deferred=deferred)
 
         # Object path. Plan (and validate) the removal against every tree
         # before applying it to any of them: a record inconsistent with the
@@ -398,13 +537,17 @@ class HedgeCutClassifier:
         self._n_unlearned += 1
         return report
 
-    def _unlearn_one_fast(self, record: Record) -> UnlearningReport:
+    def _unlearn_one_fast(
+        self, record: Record, deferred: bool = False
+    ) -> UnlearningReport:
         """One validated deletion through the scalar packed fast path.
 
         Mirrors the decrements straight into the unlearn pack's flat
         arrays (no staleness marking -- the mirrors stay fresh), syncs
         mutated leaves into the read pack's arrays vectorised, and
-        repacks only switched trees, exactly like the batch kernel.
+        repacks only switched trees, exactly like the batch kernel. In
+        deferred mode the re-score and mirror write-through are tagged
+        instead (see :func:`~repro.core.unlearn_fast.unlearn_one_packed`).
         """
         packed = self.packed
         result = unlearn_one_packed(
@@ -412,6 +555,8 @@ class HedgeCutClassifier:
             record.values,
             record.label,
             read_pack=packed,
+            deferred=deferred,
+            maintenance_budget=self.maintenance_budget if deferred else None,
         )
         for index in result.switched_trees:
             self._compiled[index] = None
@@ -432,7 +577,10 @@ class HedgeCutClassifier:
             )
 
     def unlearn_batch(
-        self, records: Iterable[Record], allow_budget_overrun: bool = False
+        self,
+        records: Iterable[Record],
+        allow_budget_overrun: bool = False,
+        maintenance: str | None = None,
     ) -> UnlearningReport:
         """Unlearn a batch of records, aggregating the reports.
 
@@ -457,13 +605,18 @@ class HedgeCutClassifier:
         merged reports for batches that succeed.
         """
         self._require_fitted()
+        deferred = self._resolve_maintenance(maintenance)
         records = records if isinstance(records, list) else list(records)
         if len(records) == 1:
             # Degenerate batch: identical semantics (validation, budget,
             # atomicity, report) to a single unlearn call, so delegate and
             # skip the batch scaffolding -- keeps unlearn_batch([r]) at
             # scalar-path latency.
-            return self.unlearn(records[0], allow_budget_overrun=allow_budget_overrun)
+            return self.unlearn(
+                records[0],
+                allow_budget_overrun=allow_budget_overrun,
+                maintenance="deferred" if deferred else "eager",
+            )
         for record in records:
             self._validate_unlearn_record(record)
         remaining = self._deletion_budget - self._n_unlearned
@@ -475,29 +628,38 @@ class HedgeCutClassifier:
             )
         if not records:
             return UnlearningReport()
-        if self._packed is not None:
-            return self._unlearn_batch_packed(records)
+        if not deferred:
+            self.flush_maintenance()
+        if deferred or self._packed is not None:
+            return self._unlearn_batch_packed(records, deferred=deferred)
         total = UnlearningReport()
         for record in records:
-            total.merge(self.unlearn(record, allow_budget_overrun=True))
+            total.merge(
+                self.unlearn(record, allow_budget_overrun=True, maintenance="eager")
+            )
         return total
 
-    def _unlearn_batch_packed(self, records: list[Record]) -> UnlearningReport:
+    def _unlearn_batch_packed(
+        self, records: list[Record], deferred: bool = False
+    ) -> UnlearningReport:
         """Apply one validated batch through the packed write path.
 
         Adaptive dispatch: small batches loop the scalar fast path (same
         whole-batch atomicity and reports), large ones take the
         vectorised kernel.
         """
-        assert self._packed is not None
+        packed = self.packed
+        budget = self.maintenance_budget if deferred else None
         if len(records) < self.small_batch_threshold:
             values = np.asarray(
                 [record.values for record in records], dtype=np.int64
             )
             labels = np.asarray([record.label for record in records], dtype=np.int64)
             result = unlearn_small_batch(
-                self._packed.unlearn_pack(), values, labels,
-                read_pack=self._packed,
+                packed.unlearn_pack(), values, labels,
+                read_pack=packed,
+                deferred=deferred,
+                maintenance_budget=budget,
             )
         else:
             values = np.asarray(
@@ -505,8 +667,10 @@ class HedgeCutClassifier:
             )
             labels = np.asarray([record.label for record in records], dtype=np.int64)
             result = unlearn_batch_packed(
-                self._packed.unlearn_pack(), values, labels,
-                leaf_sink=self._packed.sync_leaf,
+                packed.unlearn_pack(), values, labels,
+                leaf_sink=packed.sync_leaf,
+                deferred=deferred,
+                maintenance_budget=budget,
             )
         for index in result.switched_trees:
             self._compiled[index] = None
@@ -518,7 +682,9 @@ class HedgeCutClassifier:
     # online learning extension (Section 8 future work)
     # ------------------------------------------------------------------ #
 
-    def learn_one(self, record: Record) -> None:
+    def learn_one(
+        self, record: Record, maintenance: str | None = None
+    ) -> UnlearningReport:
         """Incorporate one *new* record into the leaf and split statistics.
 
         This is the insertion counterpart of Algorithm 4 and implements the
@@ -528,17 +694,46 @@ class HedgeCutClassifier:
         revise robust split decisions or grow new splits -- insertions can
         invalidate robustness certificates, so models under sustained
         insertion load should still be retrained periodically.
+
+        When the packed kernel has been built (or deferred mode forces
+        it), insertions get the same O(1) write-through deletions have:
+        leaf increments land directly in the read pack's arrays and a
+        repack happens only when a variant actually switches -- the old
+        behaviour of marking the whole pack stale (full re-gather on the
+        next predict) is gone. Deferred mode tags the visited
+        maintenance nodes instead of re-scoring, exactly like deferred
+        deletions.
+
+        Returns:
+            an :class:`UnlearningReport` aggregated over all trees, the
+            same shape the deletion paths return (``leaves_updated``,
+            visit tallies, ``variant_switches``).
         """
         self._require_fitted()
-        leaf_sink = self._packed.sync_leaf if self._packed is not None else None
-        for index, tree in enumerate(self._trees):
-            switched = _learn_one_in_tree(tree.root, record, leaf_sink=leaf_sink)
-            if switched:
+        deferred = self._resolve_maintenance(maintenance)
+        if not deferred:
+            self.flush_maintenance()
+        if deferred or self._packed is not None:
+            packed = self.packed
+            result = learn_one_packed(
+                packed.unlearn_pack(),
+                record.values,
+                record.label,
+                read_pack=packed,
+                deferred=deferred,
+                maintenance_budget=self.maintenance_budget if deferred else None,
+            )
+            for index in result.switched_trees:
                 self._compiled[index] = None
-                if self._packed is not None:
-                    self._packed.repack_tree(index)
-        if self._packed is not None:
-            self._packed.mark_stats_stale()
+                packed.repack_tree(index)
+            return result.report
+        report = UnlearningReport()
+        for index, tree in enumerate(self._trees):
+            tree_report = _learn_one_in_tree(tree.root, record)
+            if tree_report.variant_switches:
+                self._compiled[index] = None
+            report.merge(tree_report)
+        return report
 
     # ------------------------------------------------------------------ #
     # introspection and persistence
@@ -556,7 +751,12 @@ class HedgeCutClassifier:
         return self._n_trained_on
 
     def invalidate_compiled(self) -> None:
-        """Drop every derived read structure; rebuilt lazily on prediction."""
+        """Drop every derived read structure; rebuilt lazily on prediction.
+
+        Pending deferred maintenance lives in the pack being dropped, so
+        it is flushed into the object graph first (no-op when empty).
+        """
+        self.flush_maintenance()
         self._compiled = [None] * len(self._trees)
         self._packed = None
 
@@ -614,8 +814,15 @@ class HedgeCutClassifier:
         return model
 
     def save(self, path: str | Path) -> None:
-        """Serialise the fitted model (including pending unlearning state)."""
+        """Serialise the fitted model (including pending unlearning state).
+
+        Pending deferred maintenance is flushed first: the serialised
+        object graph carries gains and active variants but not the
+        pending log, so a load must land on the flushed (eager-identical)
+        state.
+        """
         self._require_fitted()
+        self.flush_maintenance()
         state = {
             "params": self.params,
             "trees": self._trees,
@@ -642,9 +849,15 @@ class HedgeCutClassifier:
         )
 
 
-def _learn_one_in_tree(root, record: Record, leaf_sink=None) -> bool:
-    """Insertion traversal; returns whether any variant switch occurred."""
-    switched = False
+def _learn_one_in_tree(root, record: Record, leaf_sink=None) -> UnlearningReport:
+    """Insertion traversal over one tree's object graph.
+
+    Returns the tree's :class:`UnlearningReport` with the same visit
+    accounting as the packed insertion path (variant-root statistic
+    updates are not counted under ``robust_nodes_visited``); a non-zero
+    ``variant_switches`` tells the caller the tree's structure changed.
+    """
+    report = UnlearningReport()
     stack = [root]
     while stack:
         node = stack.pop()
@@ -654,12 +867,16 @@ def _learn_one_in_tree(root, record: Record, leaf_sink=None) -> bool:
                 node.n_plus += 1
             if leaf_sink is not None:
                 leaf_sink(node)
+            report.leaves_updated += 1
         elif isinstance(node, SplitNode):
             goes_left = node.split.goes_left_value(record.values[node.split.feature])
-            if not node.random:
+            if node.random:
                 # Random top-d splits keep their training-time statistics
                 # frozen, symmetric with unlearning's skip.
+                report.random_nodes_visited += 1
+            else:
                 _insert_into_stats(node.stats, record, goes_left)
+                report.robust_nodes_visited += 1
             stack.append(node.left if goes_left else node.right)
         elif isinstance(node, MaintenanceNode):
             for variant in node.variants:
@@ -668,9 +885,10 @@ def _learn_one_in_tree(root, record: Record, leaf_sink=None) -> bool:
                 )
                 _insert_into_stats(variant.stats, record, goes_left)
                 stack.append(variant.left if goes_left else variant.right)
+            report.maintenance_nodes_visited += 1
             if node.rescore():
-                switched = True
-    return switched
+                report.variant_switches += 1
+    return report
 
 
 def _insert_into_stats(stats, record: Record, goes_left: bool) -> None:

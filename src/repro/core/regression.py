@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.exceptions import NotFittedError, UnlearningError
 from repro.core.params import HedgeCutParams
+from repro.core.unlearning import UnlearningReport
 from repro.core.tree import _random_split
 from repro.core.splits import Split
 from repro.dataprep.dataset import Dataset, FeatureSchema
@@ -241,22 +242,44 @@ class HedgeCutRegressor:
         self._require_fitted()
         return max(0, self._deletion_budget - self._n_unlearned)
 
-    def unlearn(self, record: RegressionRecord) -> None:
-        """Remove one record's contribution from every leaf on its paths."""
+    def unlearn(self, record: RegressionRecord) -> UnlearningReport:
+        """Remove one record's contribution from every leaf on its paths.
+
+        Returns the same :class:`~repro.core.unlearning.UnlearningReport`
+        the classifier paths return, unifying the write-path API across
+        both model types: ``leaves_updated`` counts the touched leaves
+        (one per tree), ``random_nodes_visited`` the split traversals
+        (regression splits are random and statistics-frozen, the exact
+        analogue of the classifier's frozen top-``d`` splits), and
+        ``variant_switches`` stays 0 -- the regressor has no maintenance
+        nodes, so a deletion can never change its structure.
+
+        The removal is planned before it is applied: an inconsistent
+        record raises :class:`UnlearningError` with no tree modified.
+        """
         self._require_fitted()
+        leaves = []
+        random_visits = 0
         for root in self._roots:
             node = root
             while isinstance(node, RegressionSplitNode):
                 goes_left = node.split.goes_left_value(record.values[node.split.feature])
                 node = node.left if goes_left else node.right
+                random_visits += 1
             if node.n <= 0:
                 raise UnlearningError(
                     "unlearning would drive a regression leaf count negative"
                 )
+            leaves.append(node)
+        for node in leaves:
             node.n -= 1
             node.total -= record.target
             node.total_sq -= record.target * record.target
         self._n_unlearned += 1
+        return UnlearningReport(
+            leaves_updated=len(leaves),
+            random_nodes_visited=random_visits,
+        )
 
     def unlearning_drift(
         self, dataset: RegressionDataset, removed_rows: Sequence[int]

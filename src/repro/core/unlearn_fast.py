@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.deferred import flush_deferred
 from repro.core.exceptions import UnlearningError
 from repro.core.unlearn_batch import BatchUnlearnResult, UnlearnPack
 from repro.core.unlearning import LeafSink, UnlearningReport
@@ -318,12 +319,35 @@ def _sync_leaves(pack: UnlearnPack, leaf_ids, read_pack) -> None:
             leaf_n_plus[row] = leaf.n_plus
 
 
+def _budget_trip(
+    pack: UnlearnPack, mnode_ids, maintenance_budget: int | None
+):
+    """Flush any just-visited node whose pending count hit the budget.
+
+    Returns the :class:`~repro.core.deferred.MaintenanceFlushReport` of
+    the partial flush, or ``None`` when no node tripped.
+    """
+    if maintenance_budget is None:
+        return None
+    counts = pack._pending_count
+    tripped = [
+        mnode_id
+        for mnode_id in set(mnode_ids)
+        if counts[mnode_id] >= maintenance_budget
+    ]
+    if not tripped:
+        return None
+    return flush_deferred(pack, node_ids=tripped)
+
+
 def unlearn_one_packed(
     pack: UnlearnPack,
     values,
     label: int,
     leaf_sink: LeafSink | None = None,
     read_pack=None,
+    deferred: bool = False,
+    maintenance_budget: int | None = None,
 ) -> BatchUnlearnResult:
     """Remove one record through the pack's scalar mirrors.
 
@@ -338,12 +362,26 @@ def unlearn_one_packed(
             leaves are set-synced into its arrays in one post-walk loop
             (:func:`_sync_leaves`) instead of per-leaf ``leaf_sink``
             callbacks inside the traversal.
+        deferred: tag-and-defer mode. Object counts, the count mirrors
+            and the read pack's leaf mirrors update exactly as in eager
+            mode (predictions against the current structure stay exact,
+            and a later flush reads current mirrors without regathering),
+            but the maintenance re-score loop is skipped -- the visited
+            nodes are tagged in the pack's pending log for a later
+            :func:`~repro.core.deferred.flush_deferred`. This is where
+            the deferred deletion speedup comes from: the per-delete
+            cost shrinks to the validating walk plus cheap count writes.
+        maintenance_budget: in deferred mode, visited nodes whose pending
+            count reaches this bound are flushed immediately; their
+            switches fold into the returned report.
 
     Returns:
         A :class:`BatchUnlearnResult` whose report is bit-identical to
         looping :func:`~repro.core.unlearning.unlearn_from_tree` over the
         trees, and whose ``switched_trees`` lists the trees whose active
-        variant changed (the caller repacks them).
+        variant changed (the caller repacks them). In deferred mode
+        ``variant_switches`` counts only budget-trip flushes; the
+        cumulative count catches up at the next full flush.
 
     Raises:
         UnlearningError: when the record is inconsistent with the trees;
@@ -360,15 +398,23 @@ def unlearn_one_packed(
     variant_switches = 0
     switched: list[int] = []
     variant_rows = 0
-    mnodes = pack.mnodes
-    mnode_tree = pack.mnode_tree
     fan_lens = pack.scalar_fan_lens
-    for mnode_id in mnode_ids:
-        variant_rows += fan_lens[mnode_id]
-        if _rescore_fast(mnodes[mnode_id]):
-            variant_switches += 1
-            switched.append(int(mnode_tree[mnode_id]))
-
+    if deferred:
+        for mnode_id in mnode_ids:
+            variant_rows += fan_lens[mnode_id]
+        pack.note_deferred(values, positive, -1, mnode_ids)
+    else:
+        mnodes = pack.mnodes
+        mnode_tree = pack.mnode_tree
+        for mnode_id in mnode_ids:
+            variant_rows += fan_lens[mnode_id]
+            if _rescore_fast(mnodes[mnode_id]):
+                variant_switches += 1
+                switched.append(int(mnode_tree[mnode_id]))
+    # The mirror write-through runs in BOTH modes: it is a handful of
+    # fancy-indexed scalar adds, and keeping the count mirrors current
+    # means a later flush never has to regather them from the objects
+    # (which would cost O(model), dwarfing everything deferred saved).
     _write_through(pack, positive, stat_rows, stat_rows_left, leaf_ids)
     if read_pack is not None:
         _sync_leaves(pack, leaf_ids, read_pack)
@@ -376,6 +422,11 @@ def unlearn_one_packed(
         leaf_objects = pack.leaf_objects
         for leaf_id in leaf_ids:
             leaf_sink(leaf_objects[leaf_id])
+    if deferred:
+        flushed = _budget_trip(pack, mnode_ids, maintenance_budget)
+        if flushed is not None:
+            variant_switches += flushed.variant_switches
+            switched.extend(flushed.switched_trees)
 
     report = UnlearningReport(
         leaves_updated=len(leaf_ids),
@@ -396,6 +447,8 @@ def unlearn_small_batch(
     labels: np.ndarray,
     leaf_sink: LeafSink | None = None,
     read_pack=None,
+    deferred: bool = False,
+    maintenance_budget: int | None = None,
 ) -> BatchUnlearnResult:
     """Loop the scalar core over a small batch, whole-batch atomically.
 
@@ -406,11 +459,18 @@ def unlearn_small_batch(
     each, exactly like the sequential scalar loop, so
     ``variant_switches`` matches both other paths.
 
+    In deferred mode the per-record re-score is skipped and the visits
+    accumulate in the pack's pending log (see :func:`unlearn_one_packed`;
+    counts and mirrors still update per record); per-node budget trips
+    are evaluated only after the whole batch lands, preserving
+    whole-batch atomicity.
+
     On a mid-batch inconsistency every prior record is rolled back:
     counts are re-incremented on the object and mirror sides (including
     the read pack, via ``read_pack`` or ``leaf_sink``), and first-touch
     snapshots restore every re-scored maintenance node's gains and
-    active variant.
+    active variant (in deferred mode there are no re-scores to restore;
+    the pending log is truncated to its pre-batch watermark instead).
     """
     pack.ensure_fresh()
     values = np.asarray(values, dtype=np.int64)
@@ -424,6 +484,8 @@ def unlearn_small_batch(
     report = UnlearningReport()
     rows_list = values.tolist()
     labels_list = labels.tolist()
+    pending_records0 = len(pack.pending_values)
+    pending_visits0 = len(pack.pending_mnode)
 
     try:
         for row_values, label in zip(rows_list, labels_list):
@@ -435,17 +497,24 @@ def unlearn_small_batch(
             switches = 0
             variant_rows = 0
             fan_lens = pack.scalar_fan_lens
-            for mnode_id in mnode_ids:
-                node = pack.mnodes[mnode_id]
-                variant_rows += fan_lens[mnode_id]
-                if mnode_id not in mnode_snapshots:
-                    mnode_snapshots[mnode_id] = (
-                        tuple(variant.gain for variant in node.variants),
-                        node.active_index,
-                    )
-                    pre_batch_active[mnode_id] = node.active_index
-                if _rescore_fast(node):
-                    switches += 1
+            if deferred:
+                for mnode_id in mnode_ids:
+                    variant_rows += fan_lens[mnode_id]
+                pack.note_deferred(row_values, positive, -1, mnode_ids)
+            else:
+                for mnode_id in mnode_ids:
+                    node = pack.mnodes[mnode_id]
+                    variant_rows += fan_lens[mnode_id]
+                    if mnode_id not in mnode_snapshots:
+                        mnode_snapshots[mnode_id] = (
+                            tuple(variant.gain for variant in node.variants),
+                            node.active_index,
+                        )
+                        pre_batch_active[mnode_id] = node.active_index
+                    if _rescore_fast(node):
+                        switches += 1
+            # Both modes write the mirrors through (see unlearn_one_packed:
+            # a lazily regathered mirror would cost O(model) at flush time).
             _write_through(pack, positive, stat_rows, stat_rows_left, leaf_ids)
             if read_pack is not None:
                 _sync_leaves(pack, leaf_ids, read_pack)
@@ -487,6 +556,8 @@ def unlearn_small_batch(
             _write_through(
                 pack, positive, stat_rows, stat_rows_left, leaf_ids, sign=1
             )
+        if deferred:
+            pack.truncate_pending(pending_records0, pending_visits0)
         for mnode_id, (gains, active_index) in mnode_snapshots.items():
             node = pack.mnodes[mnode_id]
             for variant, gain in zip(node.variants, gains):
@@ -499,6 +570,182 @@ def unlearn_small_batch(
         for mnode_id, active0 in pre_batch_active.items()
         if pack.mnodes[mnode_id].active_index != active0
     }
+    if deferred:
+        flushed = _budget_trip(
+            pack, pack.pending_mnode[pending_visits0:], maintenance_budget
+        )
+        if flushed is not None:
+            report.variant_switches += flushed.variant_switches
+            switched_trees.update(flushed.switched_trees)
     return BatchUnlearnResult(
         report=report, switched_trees=tuple(sorted(switched_trees))
+    )
+
+
+def _insert_one(
+    pack: UnlearnPack,
+    values: list,
+    positive: bool,
+) -> tuple[list[int], list[int], list[int], list[int], int]:
+    """Walk every tree for one inserted record, incrementing inline.
+
+    The mirror image of :func:`_apply_one` with ``+1`` deltas and no
+    validation: an insertion can never drive a count negative, so there
+    is no failure path and no undo. Returns the same
+    ``(stat_rows, stat_rows_left, leaf_ids, mnode_ids, random_visits)``
+    tuple so the callers share their post-walk bookkeeping.
+    """
+    slots = pack.scalar_slots
+    route = pack.scalar_route
+
+    stat_rows: list[int] = []
+    stat_rows_left: list[int] = []
+    leaf_ids: list[int] = []
+    mnode_ids: list[int] = []
+    rows_append = stat_rows.append
+    left_append = stat_rows_left.append
+    leaf_append = leaf_ids.append
+    mnode_append = mnode_ids.append
+    random_visits = 0
+
+    stack: list[int] = []
+    stack_pop = stack.pop
+    stack_extend = stack.extend
+    for slot in pack.scalar_roots:
+        if positive:
+            while True:
+                f, base, right_slot, srow, is_robust, obj = slots[slot]
+                if f >= 0:
+                    if obj is None:  # random top-d split: routing only
+                        random_visits += 1
+                        slot = right_slot - route[base + values[f]]
+                    elif route[base + values[f]]:
+                        obj.n += 1
+                        obj.n_plus += 1
+                        obj.n_left += 1
+                        obj.n_left_plus += 1
+                        left_append(srow)
+                        rows_append(srow)
+                        slot = right_slot - 1
+                    else:
+                        obj.n += 1
+                        obj.n_plus += 1
+                        rows_append(srow)
+                        slot = right_slot
+                elif f == -1:  # leaf
+                    obj.n += 1
+                    obj.n_plus += 1
+                    leaf_append(base)
+                    if stack:
+                        slot = stack_pop()
+                    else:
+                        break
+                else:  # fan (maintenance node): continue into every variant
+                    mnode_append(base)
+                    stack_extend(obj[1:])
+                    slot = obj[0]
+        else:
+            while True:
+                f, base, right_slot, srow, is_robust, obj = slots[slot]
+                if f >= 0:
+                    if obj is None:  # random top-d split: routing only
+                        random_visits += 1
+                        slot = right_slot - route[base + values[f]]
+                    elif route[base + values[f]]:
+                        obj.n += 1
+                        obj.n_left += 1
+                        left_append(srow)
+                        rows_append(srow)
+                        slot = right_slot - 1
+                    else:
+                        obj.n += 1
+                        rows_append(srow)
+                        slot = right_slot
+                elif f == -1:  # leaf
+                    obj.n += 1
+                    leaf_append(base)
+                    if stack:
+                        slot = stack_pop()
+                    else:
+                        break
+                else:  # fan (maintenance node): continue into every variant
+                    mnode_append(base)
+                    stack_extend(obj[1:])
+                    slot = obj[0]
+
+    return stat_rows, stat_rows_left, leaf_ids, mnode_ids, random_visits
+
+
+def learn_one_packed(
+    pack: UnlearnPack,
+    values,
+    label: int,
+    leaf_sink: LeafSink | None = None,
+    read_pack=None,
+    deferred: bool = False,
+    maintenance_budget: int | None = None,
+) -> BatchUnlearnResult:
+    """Insert one record through the pack's scalar mirrors.
+
+    The write-through counterpart of :func:`unlearn_one_packed` for
+    insertions: O(leaf-path) count increments on the live objects, the
+    same eager re-score over the visited maintenance nodes (or a pending
+    tag in deferred mode), and the same leaf sync into the inference
+    pack -- no structural change, so no repack unless a variant
+    switches. This replaces the old ``learn_one`` behaviour of marking
+    the whole packed ensemble stale and repacking on the next predict.
+
+    Parameters and return semantics match :func:`unlearn_one_packed`
+    (``switched_trees`` lists trees to repack; in deferred mode visited
+    nodes are tagged with a ``+1`` pending visit, budget trips flush
+    inline). Insertions cannot fail validation, so no exception path.
+    """
+    pack.ensure_fresh()
+    if isinstance(values, np.ndarray):
+        values = values.tolist()
+    positive = label == 1
+    stat_rows, stat_rows_left, leaf_ids, mnode_ids, random_ = _insert_one(
+        pack, values, positive
+    )
+
+    variant_switches = 0
+    switched: list[int] = []
+    variant_rows = 0
+    fan_lens = pack.scalar_fan_lens
+    if deferred:
+        for mnode_id in mnode_ids:
+            variant_rows += fan_lens[mnode_id]
+        pack.note_deferred(values, positive, 1, mnode_ids)
+    else:
+        mnodes = pack.mnodes
+        mnode_tree = pack.mnode_tree
+        for mnode_id in mnode_ids:
+            variant_rows += fan_lens[mnode_id]
+            if _rescore_fast(mnodes[mnode_id]):
+                variant_switches += 1
+                switched.append(int(mnode_tree[mnode_id]))
+    # Mirrors stay current in both modes (see unlearn_one_packed).
+    _write_through(pack, positive, stat_rows, stat_rows_left, leaf_ids, sign=1)
+    if read_pack is not None:
+        _sync_leaves(pack, leaf_ids, read_pack)
+    elif leaf_sink is not None:
+        leaf_objects = pack.leaf_objects
+        for leaf_id in leaf_ids:
+            leaf_sink(leaf_objects[leaf_id])
+    if deferred:
+        flushed = _budget_trip(pack, mnode_ids, maintenance_budget)
+        if flushed is not None:
+            variant_switches += flushed.variant_switches
+            switched.extend(flushed.switched_trees)
+
+    report = UnlearningReport(
+        leaves_updated=len(leaf_ids),
+        robust_nodes_visited=len(stat_rows) - variant_rows,
+        maintenance_nodes_visited=len(mnode_ids),
+        variant_switches=variant_switches,
+        random_nodes_visited=random_,
+    )
+    return BatchUnlearnResult(
+        report=report,
+        switched_trees=tuple(sorted(set(switched))) if switched else (),
     )

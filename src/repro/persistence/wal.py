@@ -152,13 +152,65 @@ class BatchDeletionRecord:
         )
 
 
-#: One decoded WAL frame: a single deletion or a group-committed batch.
-WalFrame = Union[DeletionRecord, BatchDeletionRecord]
+@dataclass(frozen=True)
+class InsertionRecord:
+    """One durable incremental-learning (insertion) request.
+
+    Insertions share the deletion log: a mixed insert/delete stream must
+    replay in its exact arrival order, because the deferred-maintenance
+    flush is order-sensitive in its switch accounting and the statistic
+    trajectories interleave. The frame carries ``"kind": "insert"`` so
+    pre-insertion readers of the payload format fail loudly rather than
+    replaying an insertion as a deletion.
+    """
+
+    seq: int
+    values: tuple[int, ...]
+    label: int
+    request_id: str | None = None
+    shard_id: int | None = None
+
+    def to_record(self) -> Record:
+        """The encoded training record this insertion refers to."""
+        return Record(values=self.values, label=self.label)
+
+    def to_payload(self) -> bytes:
+        body = {
+            "kind": "insert",
+            "seq": self.seq,
+            "values": list(self.values),
+            "label": self.label,
+            "request_id": self.request_id,
+        }
+        if self.shard_id is not None:
+            body["shard_id"] = self.shard_id
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "InsertionRecord":
+        body = json.loads(payload.decode("utf-8"))
+        if body.get("kind") != "insert":
+            raise ValueError("not an insertion frame")
+        return cls(
+            seq=body["seq"],
+            values=tuple(body["values"]),
+            label=body["label"],
+            request_id=body.get("request_id"),
+            shard_id=body.get("shard_id"),
+        )
+
+
+#: One decoded WAL frame: a deletion, a group-committed deletion batch,
+#: or an insertion.
+WalFrame = Union[DeletionRecord, BatchDeletionRecord, InsertionRecord]
 
 
 def _decode_frame(payload: bytes) -> WalFrame:
-    """Decode one frame payload; batch frames carry a ``batch`` key."""
+    """Decode one frame payload; batch frames carry a ``batch`` key,
+    insertions a ``kind`` discriminator."""
     body = json.loads(payload.decode("utf-8"))
+    if body.get("kind") == "insert":
+        return InsertionRecord.from_payload(payload)
     if "batch" in body:
         return BatchDeletionRecord.from_payload(payload)
     return DeletionRecord.from_payload(payload)
@@ -298,6 +350,35 @@ class WriteAheadLog:
             self.rotate()
         return entry
 
+    def append_insertion(
+        self,
+        record: Record,
+        request_id: str | None = None,
+        shard_id: int | None = None,
+    ) -> InsertionRecord:
+        """Durably append one insertion request; returns it with its seq.
+
+        Insertions and deletions draw from the same sequence space and
+        land in the same segments, so replay reconstructs the exact
+        arrival interleaving -- which is what makes deferred-maintenance
+        recovery bit-identical to the live flushed model.
+        """
+        entry = InsertionRecord(
+            seq=self._next_seq,
+            values=tuple(record.values),
+            label=record.label,
+            request_id=request_id,
+            shard_id=shard_id,
+        )
+        self._handle.write(_frame(entry.to_payload()))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._next_seq += 1
+        if self._handle.tell() >= self.max_segment_bytes:
+            self.rotate()
+        return entry
+
     def append_batch(
         self,
         records: Sequence[Record],
@@ -388,16 +469,18 @@ class WriteAheadLog:
                     yield entry
 
     def records(self, after_seq: int = 0) -> Iterator[DeletionRecord]:
-        """Yield records with ``seq > after_seq`` across all segments, in order.
+        """Yield *deletion* records with ``seq > after_seq``, in order.
 
-        Batch frames are flattened into their member records.
+        Batch frames are flattened into their member records; insertion
+        frames are skipped (iterate :meth:`frames` for the full mixed
+        stream).
         """
         for frame in self.frames(after_seq):
             if isinstance(frame, BatchDeletionRecord):
                 for member in frame.records:
                     if member.seq > after_seq:
                         yield member
-            elif frame.seq > after_seq:
+            elif isinstance(frame, DeletionRecord) and frame.seq > after_seq:
                 yield frame
 
     def compact(self, upto_seq: int) -> list[Path]:

@@ -127,6 +127,49 @@ class AuditedUnlearner:
         self.entries.append(entry)
         return entry
 
+    def learn_one(self, request_id: str, record: Record) -> AuditEntry:
+        """Apply one audited insertion (incremental learning) request.
+
+        Same durability protocol as deletions: with a WAL attached the
+        insertion frame is appended -- in the shared sequence space, so
+        replay preserves the exact insert/delete interleaving -- before
+        the model is touched.
+        """
+        start = time.perf_counter()
+        log_offset = None
+        if self.wal is not None and isinstance(record, Record):
+            log_offset = self.wal.append_insertion(
+                record, request_id=request_id, shard_id=self.shard_id
+            ).seq
+        try:
+            report = self.model.learn_one(record)
+        except HedgeCutError as error:
+            entry = AuditEntry(
+                request_id=request_id,
+                timestamp=time.time(),
+                succeeded=False,
+                latency_us=(time.perf_counter() - start) * 1e6,
+                error=str(error),
+                log_offset=log_offset,
+                shard_id=self.shard_id,
+            )
+            self.entries.append(entry)
+            if self.strict:
+                raise
+            return entry
+        entry = AuditEntry(
+            request_id=request_id,
+            timestamp=time.time(),
+            succeeded=True,
+            latency_us=(time.perf_counter() - start) * 1e6,
+            leaves_updated=report.leaves_updated,
+            variant_switches=report.variant_switches,
+            log_offset=log_offset,
+            shard_id=self.shard_id,
+        )
+        self.entries.append(entry)
+        return entry
+
     def unlearn_batch(
         self,
         request_id: str,

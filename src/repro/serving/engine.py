@@ -50,14 +50,15 @@ class _Replica:
 
 
 class _PendingOp:
-    """One durable deletion operation not yet applied to every replica.
+    """One durable write operation not yet applied to every replica.
 
     A single request covers one record; a group-committed batch covers
-    ``len(records)`` with consecutive sequence numbers. Replica catch-up
-    replays the op as a unit so batch atomicity holds on every replica.
+    ``len(records)`` with consecutive sequence numbers; ``insert`` marks
+    an incremental-learning request. Replica catch-up replays the op as
+    a unit so batch atomicity holds on every replica.
     """
 
-    __slots__ = ("first_seq", "last_seq", "records", "overrun", "batched")
+    __slots__ = ("first_seq", "last_seq", "records", "overrun", "batched", "insert")
 
     def __init__(
         self,
@@ -66,12 +67,14 @@ class _PendingOp:
         records: list[Record],
         overrun: bool,
         batched: bool,
+        insert: bool = False,
     ) -> None:
         self.first_seq = first_seq
         self.last_seq = last_seq
         self.records = records
         self.overrun = overrun
         self.batched = batched
+        self.insert = insert
 
 
 class ReplicatedServingEngine:
@@ -89,6 +92,21 @@ class ReplicatedServingEngine:
         shard_id: owning shard when this engine serves one shard of a
             sharded deployment; stamped onto every audit entry and WAL
             frame it writes (``None`` = unsharded).
+        maintenance: write-path maintenance mode installed on every
+            replica (``None`` keeps the model's current mode).
+            ``"deferred"`` makes deletions and insertions tag-and-defer
+            (DynFrs-style): each replica accumulates its own pending
+            log, drained by its own predictions, by
+            :meth:`flush_maintenance`, or by ``maintenance_budget``
+            trips. WAL durability is unaffected -- pending state is
+            reconstructible by replay, so recovery still lands
+            bit-identical to the live flushed model.
+        maintenance_budget: per-node pending bound, see
+            :class:`HedgeCutClassifier`.
+        flush_on_predict: when False, predictions do *not* drain the
+            pending log (accepted-staleness serving); pair with
+            :meth:`maintenance_staleness` and explicit
+            :meth:`flush_maintenance` calls.
     """
 
     def __init__(
@@ -99,6 +117,9 @@ class ReplicatedServingEngine:
         consistency: str = "strong",
         applied_seq: int | None = None,
         shard_id: int | None = None,
+        maintenance: str | None = None,
+        maintenance_budget: int | None = None,
+        flush_on_predict: bool = True,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -110,6 +131,15 @@ class ReplicatedServingEngine:
             applied_seq = store.wal.last_seq
         self.store = store
         self.consistency = consistency
+        if maintenance is not None:
+            if maintenance not in ("eager", "deferred"):
+                raise ValueError(
+                    f"maintenance must be 'eager' or 'deferred', got {maintenance!r}"
+                )
+            # Installed before the replicas are copied so they inherit it.
+            model.maintenance = maintenance
+            model.maintenance_budget = maintenance_budget
+        model.flush_on_predict = flush_on_predict
         if model.is_fitted:
             # Warm the packed read kernel and the write-side unlearn pack
             # before the replicas are copied: every replica then starts
@@ -172,12 +202,36 @@ class ReplicatedServingEngine:
         """Per-replica lag: durable deletions not yet applied to it."""
         return [self.durable_seq - replica.applied_seq for replica in self._replicas]
 
+    def maintenance_staleness(self) -> list[int]:
+        """Per-replica pending deferred-maintenance visits.
+
+        Orthogonal to :meth:`staleness`: a replica can have applied every
+        durable operation (lag 0) while still carrying postponed
+        re-scores. Always ``[0, ...]`` in eager mode.
+        """
+        return [
+            replica.model.pending_maintenance_visits for replica in self._replicas
+        ]
+
+    def flush_maintenance(self):
+        """Drain every replica's pending maintenance log.
+
+        Returns the primary replica's
+        :class:`~repro.core.deferred.MaintenanceFlushReport` (the replicas
+        replay the same operations, so their reports match whenever they
+        are equally caught up).
+        """
+        reports = [replica.model.flush_maintenance() for replica in self._replicas]
+        return reports[0]
+
     def _catch_up(self, replica: _Replica, target_seq: int) -> None:
         for op in self._pending:
             if op.last_seq <= replica.applied_seq or op.last_seq > target_seq:
                 continue
             try:
-                if op.batched:
+                if op.insert:
+                    replica.model.learn_one(op.records[0])
+                elif op.batched:
                     # Replay the batch through the same whole-batch-atomic
                     # kernel the primary used (forcing the packed form), so
                     # a batch either lands fully on this replica or not at
@@ -280,6 +334,34 @@ class ReplicatedServingEngine:
                     records=[record],
                     overrun=allow_budget_overrun,
                     batched=False,
+                )
+            )
+        if self.consistency == "strong":
+            for replica in self._replicas[1:]:
+                self._catch_up(replica, primary.applied_seq)
+            self._prune_pending()
+        return entry
+
+    def learn_one(self, request_id: str, record: Record) -> AuditEntry:
+        """Serve one incremental-learning (insertion) request durably.
+
+        Same protocol as :meth:`unlearn`: the insertion is appended to
+        the shared WAL (preserving the insert/delete interleaving for
+        replay) before the primary is touched, then propagated per the
+        consistency mode.
+        """
+        entry = self._audited.learn_one(request_id, record)
+        primary = self._replicas[0]
+        if entry.log_offset is not None:
+            primary.applied_seq = entry.log_offset
+            self._pending.append(
+                _PendingOp(
+                    first_seq=entry.log_offset,
+                    last_seq=entry.log_offset,
+                    records=[record],
+                    overrun=False,
+                    batched=False,
+                    insert=True,
                 )
             )
         if self.consistency == "strong":

@@ -102,6 +102,47 @@ class TestRegressionUnlearning:
         with pytest.raises(UnlearningError):
             model.unlearn(record)
 
+    def test_unlearn_returns_report(self, regression_data):
+        model = HedgeCutRegressor(n_trees=3, epsilon=0.05, seed=1).fit(regression_data)
+        report = model.unlearn(regression_data.record(0))
+        # One leaf per tree, split traversals counted as random visits
+        # (regression splits are statistics-frozen), never any switches.
+        assert report.leaves_updated == 3
+        assert report.random_nodes_visited > 0
+        assert report.variant_switches == 0
+
+    def test_inconsistent_unlearn_mutates_nothing(self):
+        data = load_dataset("credit", n_rows=400, seed=1)
+        single = RegressionDataset(
+            schema=data.schema,
+            columns=tuple(data.column(index)[:2] for index in range(8)),
+            targets=np.asarray([1.0, 2.0]),
+        )
+        model = HedgeCutRegressor(n_trees=3, seed=0).fit(single)
+        record = single.record(0)
+        model.unlearn(record)
+        model.unlearn(record)
+
+        def leaves():
+            found = []
+            for root in model._roots:
+                node = root
+                while not isinstance(node, RegressionLeaf):
+                    goes_left = node.split.goes_left_value(
+                        record.values[node.split.feature]
+                    )
+                    node = node.left if goes_left else node.right
+                found.append(node)
+            return found
+
+        snapshot = [(leaf.n, leaf.total, leaf.total_sq) for leaf in leaves()]
+        assert any(n == 0 for n, _, _ in snapshot)  # at least one drained
+        # The failing call must be planned before applied: no leaf may go
+        # negative and no totals may move in ANY tree.
+        with pytest.raises(UnlearningError):
+            model.unlearn(record)
+        assert [(leaf.n, leaf.total, leaf.total_sq) for leaf in leaves()] == snapshot
+
     def test_unlearning_drift_is_small(self, regression_data):
         model = HedgeCutRegressor(n_trees=3, epsilon=0.01, seed=2).fit(regression_data)
         removed = list(range(model.remaining_deletion_budget))

@@ -1,0 +1,143 @@
+"""Crash recovery mid-deferral: WAL replay must equal the flushed model.
+
+The WAL-ordering argument for deferred maintenance: every operation is
+logged *before* it is applied, and the pending tag log is pure
+derived-state -- so a process that crashes with re-scores still pending
+loses nothing. Recovery replays the mixed insert/delete tail eagerly and
+must land bit-identical to the surviving live model *after* it flushes.
+These tests kill the process mid-deferral at several points and check
+exactly that, plus the insertion-frame plumbing the replay rides on.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.persistence.store import ModelStore
+from repro.persistence.wal import DeletionRecord, InsertionRecord, WriteAheadLog
+
+from tests.conftest import make_random_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_random_dataset(n_rows=300, seed=11)
+    model = HedgeCutClassifier(
+        n_trees=4, epsilon=0.05, seed=5, maintenance="deferred"
+    ).fit(dataset)
+    assert model.node_census().n_maintenance_nodes > 0
+    return model, dataset
+
+
+def _mixed_ops(dataset, k):
+    """The first ``k`` of a fixed mixed insert/delete schedule."""
+    ops = []
+    for step in range(k):
+        if step % 3 == 2:
+            ops.append(("insert", dataset.record(200 + step)))
+        else:
+            ops.append(("delete", dataset.record(step)))
+    return ops
+
+
+def _crash_mid_deferral(store_dir, model, dataset, k):
+    """Log + apply ``k`` deferred ops, then 'crash' without flushing."""
+    work = copy.deepcopy(model)
+    work.flush_on_predict = False
+    with ModelStore(store_dir) as store:
+        store.save_snapshot(work, wal_seq=0)
+        for kind, record in _mixed_ops(dataset, k):
+            if kind == "insert":
+                store.wal.append_insertion(record, request_id="ins")
+                work.learn_one(record)
+            else:
+                store.wal.append(record, request_id="del", allow_budget_overrun=True)
+                work.unlearn(record, allow_budget_overrun=True)
+        assert work.pending_maintenance_visits > 0  # genuinely mid-deferral
+
+
+class TestCrashMidDeferral:
+    @pytest.mark.parametrize("k", [3, 10, 24])
+    def test_recovery_equals_live_flushed_model(self, tmp_path, setup, k):
+        model, dataset = setup
+        _crash_mid_deferral(tmp_path / "store", model, dataset, k)
+
+        live = copy.deepcopy(model)
+        live.flush_on_predict = False
+        for kind, record in _mixed_ops(dataset, k):
+            if kind == "insert":
+                live.learn_one(record)
+            else:
+                live.unlearn(record, allow_budget_overrun=True)
+        live.flush_maintenance()
+
+        recovered = ModelStore(tmp_path / "store").recover()
+        assert recovered.n_replayed == k
+        assert recovered.n_replay_failures == 0
+        assert recovered.model.pending_maintenance_visits == 0
+        np.testing.assert_array_equal(
+            recovered.model.predict_proba_batch(dataset),
+            live.predict_proba_batch(dataset),
+        )
+
+    def test_snapshot_mid_deferral_flushes_first(self, tmp_path, setup):
+        model, dataset = setup
+        work = copy.deepcopy(model)
+        work.flush_on_predict = False
+        with ModelStore(tmp_path / "store") as store:
+            store.save_snapshot(work, wal_seq=0)
+            for kind, record in _mixed_ops(dataset, 10):
+                if kind == "insert":
+                    store.wal.append_insertion(record, request_id="ins")
+                    work.learn_one(record)
+                else:
+                    store.wal.append(
+                        record, request_id="del", allow_budget_overrun=True
+                    )
+                    work.unlearn(record, allow_budget_overrun=True)
+            assert work.pending_maintenance_visits > 0
+            # Snapshotting cuts mid-deferral: it must flush the model so
+            # the npz (which knows nothing of pending tags) is a correct
+            # replay prefix.
+            store.save_snapshot(work, wal_seq=store.wal.last_seq)
+            assert work.pending_maintenance_visits == 0
+
+        recovered = ModelStore(tmp_path / "store").recover()
+        assert recovered.n_replayed == 0  # tail fully covered by snapshot
+        np.testing.assert_array_equal(
+            recovered.model.predict_proba_batch(dataset),
+            work.predict_proba_batch(dataset),
+        )
+
+
+class TestInsertionFrames:
+    def test_interleaving_survives_in_shared_sequence(self, tmp_path, setup):
+        _, dataset = setup
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(dataset.record(0), request_id="d0")
+        wal.append_insertion(dataset.record(1), request_id="i0")
+        wal.append(dataset.record(2), request_id="d1")
+        wal.close()
+
+        frames = list(WriteAheadLog(tmp_path / "wal").frames())
+        assert [type(frame) for frame in frames] == [
+            DeletionRecord,
+            InsertionRecord,
+            DeletionRecord,
+        ]
+        assert [frame.seq for frame in frames] == [1, 2, 3]
+        insert = frames[1]
+        assert insert.to_record().values == dataset.record(1).values
+        assert insert.to_record().label == dataset.record(1).label
+
+    def test_records_iterator_stays_deletions_only(self, tmp_path, setup):
+        _, dataset = setup
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(dataset.record(0), request_id="d0")
+        wal.append_insertion(dataset.record(1), request_id="i0")
+        wal.close()
+        records = list(WriteAheadLog(tmp_path / "wal").records())
+        assert len(records) == 1
+        assert isinstance(records[0], DeletionRecord)

@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding bench-serving bench-online profile-unlearn lint
+.PHONY: test test-all bench-smoke bench-inference bench-training bench-unlearning bench-sharding bench-serving bench-online profile-unlearn profile-flush lint
 
 ## Run the fast unit/property/integration suite (slow-marked tests are
 ## excluded via addopts in pyproject.toml).
@@ -41,6 +41,11 @@ bench-unlearning:
 ## campaign; prints top entries by cumulative and self time).
 profile-unlearn:
 	$(PYTHON) benchmarks/profile_unlearn.py
+
+## cProfile the deferred-maintenance flush path (deletion campaign with
+## periodic flushes; variant switches splice reserved spans in place).
+profile-flush:
+	$(PYTHON) benchmarks/profile_flush.py
 
 ## SISA sharding benchmark (deletion throughput and predict latency at
 ## K in {1,2,4,8}, K=1 bit-identity and the K=4 >= 2x scaling bar asserted

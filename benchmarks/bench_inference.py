@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -160,6 +161,7 @@ def main() -> None:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
         },
         "model": {
             "n_slots": model.packed.n_slots,

@@ -42,6 +42,8 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import os
+import pickle
 import platform
 import tempfile
 import time
@@ -55,8 +57,17 @@ from repro.evaluation.splits import train_test_split
 from repro.persistence.store import ModelStore
 from repro.serving.simulator import OnlineMix, OnlineServingSimulator
 
-#: The headline bar: deferred deletion throughput vs eager, interleaved.
-MIN_DEFERRED_SPEEDUP = 2.0
+#: Deferred deletion throughput vs eager, interleaved. In-place span
+#: splicing removed the whole-tree repack from *eager* variant switches
+#: too, so deferred's edge narrowed from ~2.5x to the amortisation of
+#: re-scoring alone; the bar now guards against deferral becoming a
+#: pessimisation, and the flush tail-latency bar below is the headline.
+MIN_DEFERRED_SPEEDUP = 1.05
+
+#: Flush tail-latency bar (microseconds): with in-place span splicing a
+#: flush that switches variants rewrites one reserved span instead of
+#: reassembling the tree, so the p99 must stay in sub-millisecond country.
+MAX_FLUSH_P99_US = 1500.0
 
 
 def _mixed_schedule(train, n_ops: int, batch: int = 8):
@@ -86,6 +97,7 @@ def assert_equivalence(base, train, matrix: np.ndarray, n_ops: int) -> dict:
         model = copy.deepcopy(base)
         model.maintenance = mode
         model.flush_on_predict = False
+        _ = model.packed  # writes go through the in-place splice path
         total = 0
         for kind, records in _mixed_schedule(train, n_ops):
             if kind == "insert":
@@ -110,9 +122,22 @@ def assert_equivalence(base, train, matrix: np.ndarray, n_ops: int) -> dict:
         f"cumulative switch counts diverged: deferred={switches['deferred']} "
         f"eager={switches['eager']}"
     )
+    # The campaign above switched variants through in-place span splices;
+    # the spliced pack must carry zero residue of the old variants. A
+    # pickle roundtrip rebuilds the pack from scratch over the same trees
+    # (the "full repack" the splice replaced) -- every flat array must
+    # match bit for bit before any timing runs.
+    for mode, model in twins.items():
+        spliced = model.packed.arrays()
+        fresh = pickle.loads(pickle.dumps(model.packed)).arrays()
+        for field in spliced._fields[:-1]:  # all arrays; skip chunk_rows
+            assert np.array_equal(
+                getattr(spliced, field), getattr(fresh, field)
+            ), f"{mode}: spliced pack diverged from a full repack in {field}"
     return {
         "checked_rows": int(matrix.shape[0]),
         "bit_identical": True,
+        "splice_equals_full_repack": True,
         "n_ops": n_ops,
         "variant_switches": switches["eager"],
     }
@@ -214,7 +239,7 @@ def main() -> None:
         action="store_true",
         help="seconds-scale run (4000 rows, 1200 requests); prints the "
         "result but leaves BENCH_online.json untouched unless --output is "
-        "given, and relaxes the 2x bar to an anti-collapse floor",
+        "given, and relaxes the speedup bar to an anti-collapse floor",
     )
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args()
@@ -225,7 +250,7 @@ def main() -> None:
         args.n_requests = min(args.n_requests, 1200)
         args.equivalence_ops = min(args.equivalence_ops, 120)
         args.recovery_ops = min(args.recovery_ops, 30)
-        bar = 1.2
+        bar = 1.0
     output = args.output
     if output is None and not args.smoke:
         output = Path(__file__).parent.parent / "BENCH_online.json"
@@ -297,11 +322,24 @@ def main() -> None:
         f"deferred maintenance sustained only {ratio:.2f}x eager deletion "
         f"throughput (bar {bar}x)"
     )
+    flush_p99 = results["deferred"]["flush_p99_us"]
+    print(f"deferred flush p99: {flush_p99:.0f}us (bar {MAX_FLUSH_P99_US:.0f}us)")
+    assert flush_p99 <= MAX_FLUSH_P99_US, (
+        f"deferred flush p99 {flush_p99:.0f}us exceeds "
+        f"{MAX_FLUSH_P99_US:.0f}us -- variant switches are repacking whole "
+        "trees instead of splicing reserved spans"
+    )
 
     artefact = {
         "benchmark": "online-deferred-maintenance",
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
         "config": {
             "dataset": args.dataset,
             "n_rows": args.n_rows,
@@ -321,6 +359,7 @@ def main() -> None:
         "deferred": results["deferred"],
         "deferred_speedup": ratio,
         "speedup_bar": bar,
+        "flush_p99_bar_us": MAX_FLUSH_P99_US,
     }
     if output is not None:
         output.write_text(json.dumps(artefact, indent=2) + "\n")

@@ -172,6 +172,76 @@ def _single_row_latency(packed, matrix: np.ndarray, n_probes: int) -> dict:
     }
 
 
+def _switch_only_campaign(engine, n_switches: int, matrix: np.ndarray) -> dict:
+    """Variant switches only: every publish must be a span delta.
+
+    Toggles the active variant of real maintenance nodes round-robin,
+    splicing and publishing after each switch, then restores the original
+    variants the same way. The whole campaign must cut **zero** new
+    generation segments, each publish must copy an order of magnitude
+    fewer bytes than a full generation copy, and the fleet must serve the
+    restored model bit-identically afterwards.
+    """
+    shared = engine._shared
+    packed = engine._model.packed
+    nodes = [
+        info.node
+        for info in packed._spans.values()
+        if len(info.node.variants) > 1
+    ]
+    if not nodes:
+        return {"skipped": "no multi-variant maintenance nodes"}
+    original = [node.active_index for node in nodes]
+    generation_before = shared.generation
+    publish_bytes = []
+    latencies = []
+    kinds = set()
+
+    def _switch(node, new_index):
+        node.active_index = new_index
+        t0 = time.perf_counter()
+        packed.splice_subtree(node)
+        kinds.add(shared.publish(packed, shared.wal_seq))
+        latencies.append((time.perf_counter() - t0) * 1e6)
+        publish_bytes.append(shared.last_structural_bytes)
+
+    for op in range(n_switches):
+        node = nodes[op % len(nodes)]
+        _switch(node, (node.active_index + 1) % len(node.variants))
+    for node, index in zip(nodes, original):
+        if node.active_index != index:
+            _switch(node, index)
+
+    assert kinds == {"spans"}, (
+        f"switch-only campaign produced non-span publishes: {sorted(kinds)}"
+    )
+    assert shared.generation == generation_before, (
+        "a variant switch cut a new generation segment"
+    )
+    generation_bytes = shared.generation_structural_bytes
+    worst = max(publish_bytes)
+    assert worst * 10 <= generation_bytes, (
+        f"span publish copied {worst} bytes; a generation copy is "
+        f"{generation_bytes} -- expected >= 10x smaller"
+    )
+    assert np.array_equal(
+        engine.predict_proba_rows(matrix),
+        packed.predict_proba_rows(matrix),
+    ), "fleet diverged after the switch-only campaign"
+    return {
+        "n_publishes": len(publish_bytes),
+        "distinct_nodes": len(nodes),
+        "publish_kind": "spans",
+        "new_generations": 0,
+        "span_bytes_max": int(worst),
+        "span_bytes_mean": float(np.mean(publish_bytes)),
+        "generation_copy_bytes": int(generation_bytes),
+        "bytes_ratio_vs_generation": float(generation_bytes / worst),
+        "switch_publish_p50_us": float(np.percentile(latencies, 50)),
+        "switch_publish_p99_us": float(np.percentile(latencies, 99)),
+    }
+
+
 def _assert_fleet_identity(engine, expected: np.ndarray, matrix: np.ndarray, when: str):
     """Every reader must answer bit-identically to the in-process kernel."""
     for _ in range(engine.n_readers):  # round-robin hits each reader once
@@ -216,6 +286,12 @@ def main() -> None:
     )
     parser.add_argument("--single-row-probes", type=int, default=300)
     parser.add_argument(
+        "--n-switches",
+        type=int,
+        default=64,
+        help="switch-only campaign length (span-delta publish validation)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="seconds-scale run (4000 rows, 64 deletions); prints the result "
@@ -229,6 +305,7 @@ def main() -> None:
         args.n_deletions = min(args.n_deletions, 64)
         args.min_seconds = min(args.min_seconds, 0.5)
         args.single_row_probes = min(args.single_row_probes, 50)
+        args.n_switches = min(args.n_switches, 16)
     output = args.output
     if output is None and not args.smoke:
         output = Path(__file__).parent.parent / "BENCH_serving.json"
@@ -311,6 +388,16 @@ def main() -> None:
                 f"{post_identity['checked_rows']} rows"
             )
 
+            span_publish = _switch_only_campaign(engine, args.n_switches, matrix)
+            if "skipped" not in span_publish:
+                print(
+                    f"switch-only campaign: {span_publish['n_publishes']} span "
+                    f"publishes, 0 new generations, "
+                    f"{span_publish['span_bytes_max']} bytes max per publish "
+                    f"({span_publish['bytes_ratio_vs_generation']:.0f}x smaller "
+                    f"than a generation copy)"
+                )
+
             single_row = _single_row_latency(
                 model.packed, matrix, args.single_row_probes
             )
@@ -366,6 +453,7 @@ def main() -> None:
             ),
         },
         "single_row_fast_path": single_row,
+        "span_publish": span_publish,
         "campaign": {
             "n_deletions": len(records),
             "seconds_with_reference_replay": campaign_seconds,

@@ -1,0 +1,91 @@
+"""cProfile driver for the deferred-maintenance flush hot path.
+
+Trains the benchmark model at a reduced scale in deferred mode, runs a
+deletion campaign that tags maintenance nodes, and profiles the periodic
+``flush_maintenance()`` calls that drain them -- the path whose tail
+latency ``BENCH_online.json`` gates. With in-place span splicing the
+profile should be dominated by the vectorised replay in
+``deferred.flush_deferred``; ``PackedEnsemble._splice`` must stay a thin
+follow-up and no whole-tree reassembly should appear at all. Run via
+``make profile-flush``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.core.ensemble import HedgeCutClassifier
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.evaluation.splits import train_test_split
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=sorted(DATASETS), default="credit")
+    parser.add_argument("--n-rows", type=int, default=10_000)
+    parser.add_argument("--n-trees", type=int, default=8)
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.002,
+        help="low values maximise maintenance nodes, the flush's workload",
+    )
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--n-records", type=int, default=2000)
+    parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=16,
+        help="deletions between flushes (the online simulator's cadence)",
+    )
+    parser.add_argument("--top", type=int, default=25)
+    args = parser.parse_args()
+
+    data = load_dataset(args.dataset, n_rows=args.n_rows, seed=3)
+    train, _ = train_test_split(data, test_fraction=0.2, seed=3)
+    print(
+        f"[{args.dataset}] fitting {args.n_trees} trees on {train.n_rows} rows ..."
+    )
+    model = HedgeCutClassifier(
+        n_trees=args.n_trees,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        maintenance="deferred",
+    ).fit(train)
+    model.flush_on_predict = False
+    model.packed.unlearn_pack()
+    records = [
+        train.record(row % train.n_rows) for row in range(args.n_records)
+    ]
+
+    n_flushes = 0
+    switches = 0
+
+    def campaign() -> None:
+        nonlocal n_flushes, switches
+        for index, record in enumerate(records):
+            model.unlearn(record, allow_budget_overrun=True)
+            if (index + 1) % args.flush_every == 0:
+                switches += model.flush_maintenance().variant_switches
+                n_flushes += 1
+        switches += model.flush_maintenance().variant_switches
+        n_flushes += 1
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    campaign()
+    profiler.disable()
+
+    print(
+        f"{n_flushes} flushes over {len(records)} deletions, "
+        f"{switches} variant switches (spliced in place)"
+    )
+    for sort in ("cumulative", "tottime"):
+        print(f"\n==== top {args.top} by {sort} ====")
+        pstats.Stats(profiler).strip_dirs().sort_stats(sort).print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()

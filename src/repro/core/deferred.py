@@ -61,13 +61,18 @@ class MaintenanceFlushReport:
             summed over the replayed trajectories -- the exact number the
             eager path would have counted for the same operations.
         switched_trees: sorted tree indices whose *final* active variant
-            differs from the tagged one (the caller repacks these).
+            differs from the tagged one (the caller invalidates their
+            compiled form).
+        switched_nodes: the :class:`~repro.core.nodes.MaintenanceNode`
+            objects behind those switches, for in-place span splicing via
+            ``PackedEnsemble.splice_subtree``.
     """
 
     nodes_flushed: int = 0
     visits_replayed: int = 0
     variant_switches: int = 0
     switched_trees: tuple[int, ...] = ()
+    switched_nodes: tuple = ()
 
 
 def flush_deferred(pack, node_ids=None) -> MaintenanceFlushReport:
@@ -199,9 +204,9 @@ def flush_deferred(pack, node_ids=None) -> MaintenanceFlushReport:
     variant_switches = int(np.count_nonzero(best != previous))
     final_best = best[last]
     final_gains = gains[last]
-    switched_trees = sorted(
-        set(pack.mnode_tree[unique_mnodes[final_best != active0]].tolist())
-    )
+    switched_ids = unique_mnodes[final_best != active0]
+    switched_trees = sorted(set(pack.mnode_tree[switched_ids].tolist()))
+    switched_nodes = tuple(pack.mnodes[int(m)] for m in switched_ids.tolist())
 
     for index, mnode_id in enumerate(unique_mnodes.tolist()):
         node = pack.mnodes[mnode_id]
@@ -235,4 +240,5 @@ def flush_deferred(pack, node_ids=None) -> MaintenanceFlushReport:
         visits_replayed=n_visits,
         variant_switches=variant_switches,
         switched_trees=tuple(switched_trees),
+        switched_nodes=switched_nodes,
     )

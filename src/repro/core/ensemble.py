@@ -9,6 +9,7 @@ through a heavyweight retrain-and-redeploy pipeline (Figure 1).
 
 from __future__ import annotations
 
+import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -206,7 +207,12 @@ class HedgeCutClassifier:
         rng = np.random.default_rng(self.params.seed)
         tree_rngs = rng.spawn(self.params.n_trees)
 
-        if self.params.n_jobs > 1:
+        # Effective parallelism: never more workers than trees, and never
+        # a pool at all when only one worker (or one core) is available --
+        # process spawn plus a per-worker dataset copy costs more than it
+        # saves when the builds cannot actually overlap.
+        n_jobs = min(self.params.n_jobs, len(tree_rngs), os.cpu_count() or 1)
+        if n_jobs > 1:
             # Trees are fully independent (Section 5); build them in a
             # process pool. Each worker receives its own copy of the data
             # (the paper trains "in parallel on copies of the input data"),
@@ -216,7 +222,6 @@ class HedgeCutClassifier:
             # remaining per-job IPC over several tree builds.
             from concurrent.futures import ProcessPoolExecutor
 
-            n_jobs = min(self.params.n_jobs, len(tree_rngs))
             chunksize = -(-len(tree_rngs) // (n_jobs * 2))
             with ProcessPoolExecutor(
                 max_workers=n_jobs,
@@ -450,10 +455,24 @@ class HedgeCutClassifier:
             return MaintenanceFlushReport()
         assert self._packed is not None
         report = flush_deferred(self._packed.unlearn_pack())
-        for index in report.switched_trees:
-            self._compiled[index] = None
-            self._packed.repack_tree(index)
+        self._apply_switches(report.switched_trees, report.switched_nodes)
         return report
+
+    def _apply_switches(self, switched_trees, switched_nodes) -> None:
+        """Propagate variant switches into the compiled and packed forms.
+
+        The compiled per-tree form is dropped lazily per switched tree;
+        the packed ensemble is updated in place by splicing each switched
+        maintenance node's reserved span (no whole-tree re-emit, no array
+        reallocation -- see ``PackedEnsemble.splice_subtree``).
+        """
+        for index in switched_trees:
+            self._compiled[index] = None
+        packed = self._packed
+        if packed is None:
+            return
+        for node in switched_nodes:
+            packed.splice_subtree(node)
 
     def unlearn(
         self,
@@ -558,9 +577,7 @@ class HedgeCutClassifier:
             deferred=deferred,
             maintenance_budget=self.maintenance_budget if deferred else None,
         )
-        for index in result.switched_trees:
-            self._compiled[index] = None
-            packed.repack_tree(index)
+        self._apply_switches(result.switched_trees, result.switched_nodes)
         self._n_unlearned += 1
         return result.report
 
@@ -672,9 +689,7 @@ class HedgeCutClassifier:
                 deferred=deferred,
                 maintenance_budget=budget,
             )
-        for index in result.switched_trees:
-            self._compiled[index] = None
-            self._packed.repack_tree(index)
+        self._apply_switches(result.switched_trees, result.switched_nodes)
         self._n_unlearned += len(records)
         return result.report
 
@@ -723,9 +738,7 @@ class HedgeCutClassifier:
                 deferred=deferred,
                 maintenance_budget=self.maintenance_budget if deferred else None,
             )
-            for index in result.switched_trees:
-                self._compiled[index] = None
-                packed.repack_tree(index)
+            self._apply_switches(result.switched_trees, result.switched_nodes)
             return result.report
         report = UnlearningReport()
         for index, tree in enumerate(self._trees):

@@ -32,14 +32,47 @@ Crucially the pack stays valid **under unlearning**:
 * leaf decrements write through to the flat leaf arrays in O(1) via
   :meth:`PackedEnsemble.sync_leaf` (the ensemble passes it as the
   ``leaf_sink`` of the unlearning traversal), and
-* a maintenance-node variant switch triggers :meth:`PackedEnsemble.repack_tree`,
-  which re-emits only the affected tree's slot range and splices it back --
-  the other ``T - 1`` trees are reused as-is.
+* a maintenance-node variant switch is an **in-place subtree splice**
+  (:meth:`PackedEnsemble.splice_subtree`): at pack time every maintenance
+  node reserves contiguous slot/route/leaf spans sized to the *largest*
+  footprint across its variants, so switching rewrites only that reserved
+  region -- no array reallocation, no leaf-index remap outside the span,
+  and the pack's geometry stays fixed for the model's lifetime.
+
+Reserved-span layout
+--------------------
+
+A maintenance node's root slot is wherever its parent's child pair (or the
+tree root) put it -- that slot never moves, so a splice needs no parent
+pointer patch. Its *descendants* live in a reserved arena immediately
+claimed from the enclosing region at pack time:
+
+* a slot arena of ``max over variants (slots(left) + slots(right))`` slots,
+* a route-row arena of ``1 + max over variants (routes(left) + routes(right))``
+  rows (the extra row is the node's own split row, which changes with the
+  active variant),
+* a leaf-row arena of ``max over variants (leaves(left) + leaves(right))``
+  rows.
+
+Nested maintenance nodes carve their arenas out of the enclosing one, so a
+splice anywhere touches one contiguous region per array (plus the one root
+slot). Slots a variant does not use are padded as *safe leaves* (feature
+``LEAF_MARKER``, payload a valid in-span leaf row) and unused leaf rows are
+zeroed: even a torn concurrent read of a half-spliced span can only land on
+in-range indices, which is what keeps the shared-memory fleet's optimistic
+reads crash-safe without a generation copy. Child pairs are always
+allocated at slots strictly above their parent's, so any mix of old and new
+span content still walks strictly forward and terminates.
+
+Because geometry is fixed, ``epoch`` now bumps only on genuinely
+geometry-changing events (initial build, unpickle/snapshot restore);
+splices instead record dirty slot/route ranges that the shared-memory
+writer drains for span-delta publishes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
 from typing import NamedTuple, Sequence
 
 import numpy as np
@@ -55,6 +88,13 @@ LEAF_MARKER = -1
 #: Row-chunk size of the traversal kernel; bounds the (rows x trees) state
 #: to a cache-friendly working set regardless of the batch size.
 DEFAULT_CHUNK_ROWS = 4096
+
+#: Process-wide structural-epoch source: every :meth:`PackedEnsemble._build`
+#: (construction, unpickle / snapshot restore) draws a fresh value, so two
+#: distinct builds never share an epoch -- the shared-memory writer can tell
+#: "same fixed geometry, maybe spliced" from "a different build entirely"
+#: even when a caller swaps the pack object out from under it.
+_EPOCH_COUNTER = itertools.count()
 
 
 def _route_row(split: NumericSplit | CategoricalSplit, width: int) -> np.ndarray:
@@ -101,15 +141,35 @@ def as_code_matrix(values: np.ndarray) -> np.ndarray:
     return matrix
 
 
+class TornTraversalError(RuntimeError):
+    """A packed traversal exceeded its slot budget or indexed out of range.
+
+    Impossible on a consistent pack (every walk strictly descends and every
+    index is in range by construction); it can only fire on a torn
+    optimistic read of shared memory mid-splice, where a reader may observe
+    a mix of old and new span contents. The shm reader treats it like a
+    seqlock conflict and retries.
+    """
+
+
 def walk_one(arrays: PackedArrays, values: Sequence[int], tree: int) -> int:
-    """Scalar root-to-leaf walk of one tree; returns the global leaf index."""
+    """Scalar root-to-leaf walk of one tree; returns the global leaf index.
+
+    The walk is bounded by the slot count: a consistent pack strictly
+    descends (children always sit at higher slots), so the bound can only
+    trip on a torn shared-memory read, which surfaces as
+    :class:`TornTraversalError` for the reader to retry.
+    """
     feature, payload, right = arrays.feature, arrays.payload, arrays.right
     route_flat = arrays.route_flat
     slot = int(arrays.tree_roots[tree])
-    while (feature_id := feature[slot]) != LEAF_MARKER:
+    for _ in range(feature.shape[0] + 1):
+        feature_id = feature[slot]
+        if feature_id == LEAF_MARKER:
+            return int(payload[slot])
         goes_left = route_flat[payload[slot] + values[feature_id]]
         slot = int(right[slot]) - int(goes_left)
-    return int(payload[slot])
+    raise TornTraversalError("scalar walk exceeded the slot budget")
 
 
 def leaf_matrix(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
@@ -147,7 +207,10 @@ def leaf_matrix(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
             start * n_trees, stop * n_trees, dtype=np.intp
         )
         fid = feature[cur]
-        while True:
+        # A consistent pack strictly descends, so no walk can take more
+        # levels than there are slots; the bound only trips on a torn
+        # shared-memory read (see TornTraversalError).
+        for _level in range(feature.shape[0] + 1):
             at_leaf = fid == LEAF_MARKER
             if at_leaf.any():
                 out_flat[pos[at_leaf]] = payload[cur[at_leaf]]
@@ -162,6 +225,8 @@ def leaf_matrix(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
             goes_left = route_flat[payload[cur] + codes]
             cur = right[cur] - goes_left
             fid = feature[cur]
+        else:
+            raise TornTraversalError("frontier walk exceeded the slot budget")
     return out
 
 
@@ -228,77 +293,152 @@ def predict_proba_rows(arrays: PackedArrays, values: np.ndarray) -> np.ndarray:
     return total / n_trees
 
 
-@dataclass
-class _TreeSegment:
-    """One tree's packed arrays, with *tree-relative* offsets.
+def _compute_footprints(roots: Sequence[TreeNode]) -> dict[int, tuple[int, int, int]]:
+    """``id(node) -> (slots, route_rows, leaf_rows)`` reserved footprints.
 
-    ``payload`` holds a segment-relative routing-table row for internal
-    slots and a segment-relative leaf index for leaf slots; the global
-    assembly adds the per-tree base offsets (and pre-scales route rows by
-    the table width). ``right`` points at the right child; the left child
-    always sits at ``right - 1``.
+    For leaves and plain splits the footprint is the exact emitted size.
+    For a maintenance node it is the *reservation*: one root slot plus the
+    per-dimension maximum over its variants' children, so that any variant
+    (and any future switch) fits inside the same region. The maxima are
+    taken independently per dimension -- the variant with the most slots
+    need not be the one with the most route rows.
+
+    Iterative post-order (fully grown trees exceed the recursion limit);
+    the result is memoised by object identity and stays valid for the
+    model's lifetime because the variant graph is static after fit.
     """
-
-    feature: np.ndarray
-    payload: np.ndarray
-    right: np.ndarray
-    route: np.ndarray
-    leaves: list[Leaf]
-
-    @property
-    def n_slots(self) -> int:
-        return int(self.feature.shape[0])
-
-
-def _emit_segment(root: TreeNode, width: int) -> _TreeSegment:
-    """Flatten one tree (active maintenance variants resolved) iteratively.
-
-    The emission is iterative because fully grown trees on large datasets
-    exceed Python's recursion limit. Child slots are allocated in adjacent
-    pairs (left immediately before right) so the traversal kernel can
-    compute ``right - goes_left`` instead of selecting between two child
-    arrays.
-    """
-    feature: list[int] = [0]
-    payload: list[int] = [0]
-    right: list[int] = [0]
-    route_rows: list[np.ndarray] = []
-    leaves: list[Leaf] = []
-
-    stack: list[tuple[TreeNode, int]] = [(root, 0)]
+    foot: dict[int, tuple[int, int, int]] = {}
+    stack: list[TreeNode] = list(roots)
     while stack:
-        node, slot = stack.pop()
-        if isinstance(node, MaintenanceNode):
-            active = node.active
-            split, child_left, child_right = active.split, active.left, active.right
-        elif isinstance(node, SplitNode):
-            split, child_left, child_right = node.split, node.left, node.right
-        else:
-            feature[slot] = LEAF_MARKER
-            payload[slot] = len(leaves)
-            leaves.append(node)
+        node = stack[-1]
+        node_id = id(node)
+        if node_id in foot:
+            stack.pop()
             continue
-        feature[slot] = split.feature
-        payload[slot] = len(route_rows)
-        route_rows.append(_route_row(split, width))
-        left_slot = len(feature)
-        feature.extend((0, 0))
-        payload.extend((0, 0))
-        right.extend((0, 0))
-        right[slot] = left_slot + 1
-        stack.append((child_right, left_slot + 1))
-        stack.append((child_left, left_slot))
+        if isinstance(node, Leaf):
+            foot[node_id] = (1, 0, 1)
+            stack.pop()
+            continue
+        if isinstance(node, SplitNode):
+            children = (node.left, node.right)
+        else:
+            children = tuple(
+                child
+                for variant in node.variants
+                for child in (variant.left, variant.right)
+            )
+        missing = [child for child in children if id(child) not in foot]
+        if missing:
+            stack.extend(missing)
+            continue
+        stack.pop()
+        if isinstance(node, SplitNode):
+            s_l, r_l, l_l = foot[id(node.left)]
+            s_r, r_r, l_r = foot[id(node.right)]
+            foot[node_id] = (1 + s_l + s_r, 1 + r_l + r_r, l_l + l_r)
+        else:
+            slots = routes = leaves = 0
+            for variant in node.variants:
+                s_l, r_l, l_l = foot[id(variant.left)]
+                s_r, r_r, l_r = foot[id(variant.right)]
+                slots = max(slots, s_l + s_r)
+                routes = max(routes, r_l + r_r)
+                leaves = max(leaves, l_l + l_r)
+            foot[node_id] = (1 + slots, 1 + routes, leaves)
+    return foot
 
-    route = (
-        np.stack(route_rows) if route_rows else np.zeros((0, width), dtype=bool)
+
+class _Arena:
+    """Mutable allocation cursors over one reserved region.
+
+    ``*_cur`` advance as slots / route rows / leaf rows are handed out;
+    ``*_hi`` are the exclusive reservation bounds. Route cursors count
+    *rows* (the flat table index is ``row * width``). ``owner`` is the
+    :class:`_SpanInfo` whose reservation this is (``None`` for a tree's
+    top-level arena), used to nest child spans for recursive
+    unregistration on re-splice.
+    """
+
+    __slots__ = (
+        "slot_cur", "slot_hi", "route_cur", "route_hi",
+        "leaf_cur", "leaf_hi", "owner",
     )
-    return _TreeSegment(
-        feature=np.asarray(feature, dtype=np.intp),
-        payload=np.asarray(payload, dtype=np.intp),
-        right=np.asarray(right, dtype=np.intp),
-        route=route,
-        leaves=leaves,
+
+    def __init__(
+        self,
+        slot_cur: int, slot_hi: int,
+        route_cur: int, route_hi: int,
+        leaf_cur: int, leaf_hi: int,
+        owner: "_SpanInfo | None",
+    ) -> None:
+        self.slot_cur = slot_cur
+        self.slot_hi = slot_hi
+        self.route_cur = route_cur
+        self.route_hi = route_hi
+        self.leaf_cur = leaf_cur
+        self.leaf_hi = leaf_hi
+        self.owner = owner
+
+
+class _SpanInfo:
+    """One maintenance node's reserved span and what is emitted into it.
+
+    ``root_slot`` is the node's fixed slot (its parent's child pair, or
+    the tree base); ``slot_lo:slot_hi`` / ``route_lo:route_hi`` /
+    ``leaf_lo:leaf_hi`` bound the reserved descendant arenas.
+    ``emitted_index`` is the variant currently written into the span;
+    comparing it against the live ``node.active_index`` decides whether a
+    splice is needed. ``children`` lists the spans of maintenance nodes
+    nested inside the currently emitted variant (they die with the next
+    splice).
+    """
+
+    __slots__ = (
+        "node", "tree", "root_slot", "slot_lo", "slot_hi",
+        "route_lo", "route_hi", "leaf_lo", "leaf_hi",
+        "emitted_index", "children",
     )
+
+    def __init__(
+        self,
+        node: MaintenanceNode,
+        tree: int,
+        root_slot: int,
+        slot_lo: int, slot_hi: int,
+        route_lo: int, route_hi: int,
+        leaf_lo: int, leaf_hi: int,
+    ) -> None:
+        self.node = node
+        self.tree = tree
+        self.root_slot = root_slot
+        self.slot_lo = slot_lo
+        self.slot_hi = slot_hi
+        self.route_lo = route_lo
+        self.route_hi = route_hi
+        self.leaf_lo = leaf_lo
+        self.leaf_hi = leaf_hi
+        self.emitted_index = node.active_index
+        self.children: list[_SpanInfo] = []
+
+
+#: Dirty-range bookkeeping cap: beyond this many pending ranges the list is
+#: merged, and if still larger, collapsed to a single covering range so an
+#: unattached long-running writer cannot grow it without bound.
+_MAX_DIRTY_RANGES = 64
+
+
+def _merge_ranges(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort and coalesce overlapping/adjacent half-open ranges."""
+    if len(ranges) <= 1:
+        return list(ranges)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(ranges):
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
 
 
 class PackedEnsemble:
@@ -311,8 +451,9 @@ class PackedEnsemble:
         chunk_rows: row-chunk size of the traversal kernel.
 
     The pack holds references to the live :class:`Leaf` objects so that
-    :meth:`sync_leaf` can mirror in-place decrements, and re-emits single
-    trees via :meth:`repack_tree` when a variant switch changes routing.
+    :meth:`sync_leaf` can mirror in-place decrements, and rewrites a
+    maintenance node's reserved span in place via :meth:`splice_subtree`
+    when a variant switch changes routing.
     """
 
     def __init__(
@@ -328,66 +469,317 @@ class PackedEnsemble:
         self._roots = [tree.root for tree in trees]
         self._width = max(feature.n_values for feature in schema)
         self._chunk_rows = chunk_rows
-        self._segments = [_emit_segment(root, self._width) for root in self._roots]
         self._unlearn_pack = None
-        self.epoch = -1
-        self._assemble()
+        self._build()
 
     # ------------------------------------------------------------------ #
-    # assembly and maintenance
+    # reserved-span build and in-place maintenance
     # ------------------------------------------------------------------ #
 
-    def _assemble(self) -> None:
-        """Concatenate the per-tree segments into the global flat arrays."""
-        width = self._width
-        slot_base = 0
-        route_base = 0
-        leaf_base = 0
-        features: list[np.ndarray] = []
-        payloads: list[np.ndarray] = []
-        rights: list[np.ndarray] = []
-        routes: list[np.ndarray] = []
+    def _build(self) -> None:
+        """Allocate the reserved-span arrays and emit every tree.
+
+        Runs once per geometry-changing event (construction, unpickle /
+        snapshot restore). Afterwards the arrays never move or change
+        size: variant switches rewrite reserved spans in place via
+        :meth:`splice_subtree`.
+        """
+        self._foot = _compute_footprints(self._roots)
+        totals = [self._foot[id(root)] for root in self._roots]
+        n_slots = sum(t[0] for t in totals)
+        n_routes = sum(t[1] for t in totals)
+        n_leaves = sum(t[2] for t in totals)
+        self.feature = np.full(n_slots, LEAF_MARKER, dtype=np.intp)
+        self.payload = np.zeros(n_slots, dtype=np.intp)
+        self.right = np.zeros(n_slots, dtype=np.intp)
+        self.route_flat = np.zeros(n_routes * self._width, dtype=bool)
+        self.leaf_n = np.zeros(n_leaves, dtype=np.int64)
+        self.leaf_n_plus = np.zeros(n_leaves, dtype=np.int64)
+        self._leaf_objects: list[Leaf | None] = [None] * n_leaves
+        self._leaf_index: dict[int, int] = {}
+        self._spans: dict[int, _SpanInfo] = {}
+        self._dirty_slot_ranges: list[tuple[int, int]] = []
+        self._dirty_route_ranges: list[tuple[int, int]] = []
+
         roots: list[int] = []
-        leaf_objects: list[Leaf] = []
-        for segment in self._segments:
-            internal = segment.feature != LEAF_MARKER
-            payload = segment.payload.copy()
-            payload[internal] = (payload[internal] + route_base) * width
-            payload[~internal] += leaf_base
-            features.append(segment.feature)
-            payloads.append(payload)
-            rights.append(segment.right + slot_base)
-            routes.append(segment.route)
+        slot_base = route_base = leaf_base = 0
+        for tree, (root, (slots, routes, leaves)) in enumerate(
+            zip(self._roots, totals)
+        ):
+            arena = _Arena(
+                slot_base + 1, slot_base + slots,
+                route_base, route_base + routes,
+                leaf_base, leaf_base + leaves,
+                owner=None,
+            )
+            arenas: list[_Arena] = [arena]
+            self._emit_into([(root, slot_base, arena)], tree, arenas)
+            for sub in arenas:
+                self._pad_arena(sub)
             roots.append(slot_base)
-            leaf_objects.extend(segment.leaves)
-            slot_base += segment.n_slots
-            route_base += segment.route.shape[0]
-            leaf_base += len(segment.leaves)
-
-        self.feature = np.concatenate(features)
-        self.payload = np.concatenate(payloads)
-        self.right = np.concatenate(rights)
-        self.route_flat = np.ascontiguousarray(
-            np.concatenate(routes, axis=0)
-        ).reshape(-1)
+            slot_base += slots
+            route_base += routes
+            leaf_base += leaves
         self.tree_roots = np.asarray(roots, dtype=np.intp)
-        self._leaf_objects = leaf_objects
-        self.leaf_n = np.asarray([leaf.n for leaf in leaf_objects], dtype=np.int64)
-        self.leaf_n_plus = np.asarray(
-            [leaf.n_plus for leaf in leaf_objects], dtype=np.int64
+        # Structural epoch: changes only when geometry actually changes
+        # (this method runs). The shared-memory writer compares epochs to
+        # decide between a span-delta publish and a full generation copy.
+        self.epoch = next(_EPOCH_COUNTER)
+        self._dirty_slot_ranges.clear()
+        self._dirty_route_ranges.clear()
+
+    def _emit_into(
+        self,
+        stack: list[tuple[TreeNode, int, _Arena]],
+        tree: int,
+        arenas_out: list[_Arena],
+    ) -> None:
+        """Emit subtrees iteratively, carving reserved sub-arenas.
+
+        ``stack`` holds ``(node, slot, arena)`` work items: write ``node``
+        at ``slot``, allocating descendants from ``arena``. A maintenance
+        node carves its reserved sub-arena from the enclosing one (the
+        enclosing cursors jump over the whole reservation), registers its
+        span, and continues emission of the *active* variant inside the
+        sub-arena. Every arena this creates is appended to ``arenas_out``
+        so the caller can pad the unused tails afterwards.
+        """
+        width = self._width
+        feature, payload, right = self.feature, self.payload, self.right
+        route_flat = self.route_flat
+        leaf_n, leaf_n_plus = self.leaf_n, self.leaf_n_plus
+        leaf_objects, leaf_index = self._leaf_objects, self._leaf_index
+        while stack:
+            node, slot, arena = stack.pop()
+            if isinstance(node, Leaf):
+                row = arena.leaf_cur
+                arena.leaf_cur += 1
+                feature[slot] = LEAF_MARKER
+                payload[slot] = row
+                # Self-pointing right keeps the array deterministic (a
+                # spliced span equals a fresh build byte-for-byte); the
+                # kernel never reads it at a leaf.
+                right[slot] = slot
+                leaf_n[row] = node.n
+                leaf_n_plus[row] = node.n_plus
+                leaf_objects[row] = node
+                leaf_index[id(node)] = row
+                continue
+            if isinstance(node, MaintenanceNode):
+                slots, routes, leaves = self._foot[id(node)]
+                sub = _Arena(
+                    arena.slot_cur, arena.slot_cur + slots - 1,
+                    arena.route_cur, arena.route_cur + routes,
+                    arena.leaf_cur, arena.leaf_cur + leaves,
+                    owner=None,
+                )
+                arena.slot_cur = sub.slot_hi
+                arena.route_cur = sub.route_hi
+                arena.leaf_cur = sub.leaf_hi
+                info = _SpanInfo(
+                    node, tree, slot,
+                    sub.slot_cur, sub.slot_hi,
+                    sub.route_cur, sub.route_hi,
+                    sub.leaf_cur, sub.leaf_hi,
+                )
+                sub.owner = info
+                self._spans[id(node)] = info
+                if arena.owner is not None:
+                    arena.owner.children.append(info)
+                arenas_out.append(sub)
+                active = node.active
+                split, child_left, child_right = (
+                    active.split, active.left, active.right,
+                )
+                arena = sub
+            else:
+                split, child_left, child_right = node.split, node.left, node.right
+            route_row = arena.route_cur
+            arena.route_cur += 1
+            feature[slot] = split.feature
+            payload[slot] = route_row * width
+            route_flat[route_row * width:(route_row + 1) * width] = _route_row(
+                split, width
+            )
+            pair = arena.slot_cur
+            arena.slot_cur += 2
+            right[slot] = pair + 1
+            stack.append((child_right, pair + 1, arena))
+            stack.append((child_left, pair, arena))
+
+    def _pad_arena(self, arena: _Arena) -> None:
+        """Fill an arena's unused tail with safe, in-range content.
+
+        Unused slots become *safe leaves* (``LEAF_MARKER`` with a payload
+        pointing at an in-span leaf row) and unused leaf rows are zeroed:
+        a torn optimistic shared-memory read that strays into padding
+        still sees only in-range indices. Unreachable from any consistent
+        root by construction.
+        """
+        lo, hi = arena.slot_cur, arena.slot_hi
+        if lo < hi:
+            safe_row = max(arena.leaf_hi - 1, 0)
+            self.feature[lo:hi] = LEAF_MARKER
+            self.payload[lo:hi] = safe_row
+            self.right[lo:hi] = np.arange(lo, hi, dtype=np.intp)
+        if arena.route_cur < arena.route_hi:
+            width = self._width
+            self.route_flat[arena.route_cur * width:arena.route_hi * width] = False
+        if arena.leaf_cur < arena.leaf_hi:
+            self.leaf_n[arena.leaf_cur:arena.leaf_hi] = 0
+            self.leaf_n_plus[arena.leaf_cur:arena.leaf_hi] = 0
+            for row in range(arena.leaf_cur, arena.leaf_hi):
+                self._leaf_objects[row] = None
+
+    def splice_subtree(self, node: MaintenanceNode) -> int | None:
+        """Rewrite one maintenance node's reserved span for its live variant.
+
+        Returns the tree index the span belongs to when a rewrite
+        happened, or ``None`` when the call is a no-op: the node is not
+        currently materialised (it sits inside an inactive variant of an
+        enclosing node -- its switch will be emitted whenever that
+        enclosing variant is spliced in), or its emitted variant already
+        matches ``node.active_index``.
+        """
+        info = self._spans.get(id(node))
+        if info is None or info.emitted_index == info.node.active_index:
+            return None
+        self._splice(info)
+        return info.tree
+
+    def _splice(self, info: _SpanInfo) -> None:
+        """Re-emit the live active variant into an existing reserved span."""
+        self._unregister_children(info)
+        for row in range(info.leaf_lo, info.leaf_hi):
+            leaf = self._leaf_objects[row]
+            if leaf is not None:
+                self._leaf_index.pop(id(leaf), None)
+                self._leaf_objects[row] = None
+        node = info.node
+        width = self._width
+        arena = _Arena(
+            info.slot_lo, info.slot_hi,
+            info.route_lo, info.route_hi,
+            info.leaf_lo, info.leaf_hi,
+            owner=info,
         )
-        self._leaf_index = {id(leaf): i for i, leaf in enumerate(leaf_objects)}
-        # Structural epoch: bumped on every reassembly (initial build,
-        # repack after a variant switch, unpickle). The shared-memory
-        # writer compares epochs to decide between an O(n_leaves)
-        # leaf-value publish and a full structural re-publish.
-        self.epoch += 1
+        info.children = []
+        arenas: list[_Arena] = [arena]
+        active = node.active
+        split = active.split
+        route_row = arena.route_cur
+        arena.route_cur += 1
+        self.feature[info.root_slot] = split.feature
+        self.payload[info.root_slot] = route_row * width
+        self.route_flat[route_row * width:(route_row + 1) * width] = _route_row(
+            split, width
+        )
+        pair = arena.slot_cur
+        arena.slot_cur += 2
+        self.right[info.root_slot] = pair + 1
+        self._emit_into(
+            [(active.right, pair + 1, arena), (active.left, pair, arena)],
+            info.tree,
+            arenas,
+        )
+        for sub in arenas:
+            self._pad_arena(sub)
+        info.emitted_index = node.active_index
+        self._note_dirty(info)
+
+    def _unregister_children(self, info: _SpanInfo) -> None:
+        """Drop the span registrations nested inside ``info``'s old variant."""
+        stack = list(info.children)
+        while stack:
+            child = stack.pop()
+            stack.extend(child.children)
+            if self._spans.get(id(child.node)) is child:
+                del self._spans[id(child.node)]
+
+    def _note_dirty(self, info: _SpanInfo) -> None:
+        """Record a spliced span for the shared-memory span-delta publish.
+
+        Slot ranges are in slots; route ranges are pre-scaled to flat
+        table indices. Leaf rows are not tracked: a span publish copies
+        the (comparatively small) leaf arrays wholesale, exactly like a
+        leaf-only publish.
+        """
+        self._dirty_slot_ranges.append((info.root_slot, info.root_slot + 1))
+        self._dirty_slot_ranges.append((info.slot_lo, info.slot_hi))
+        self._dirty_route_ranges.append(
+            (info.route_lo * self._width, info.route_hi * self._width)
+        )
+        if len(self._dirty_slot_ranges) > _MAX_DIRTY_RANGES:
+            self._dirty_slot_ranges = _merge_ranges(self._dirty_slot_ranges)
+            if len(self._dirty_slot_ranges) > _MAX_DIRTY_RANGES:
+                self._dirty_slot_ranges = [
+                    (
+                        self._dirty_slot_ranges[0][0],
+                        self._dirty_slot_ranges[-1][1],
+                    )
+                ]
+        if len(self._dirty_route_ranges) > _MAX_DIRTY_RANGES:
+            self._dirty_route_ranges = _merge_ranges(self._dirty_route_ranges)
+            if len(self._dirty_route_ranges) > _MAX_DIRTY_RANGES:
+                self._dirty_route_ranges = [
+                    (
+                        self._dirty_route_ranges[0][0],
+                        self._dirty_route_ranges[-1][1],
+                    )
+                ]
+
+    @property
+    def has_dirty_spans(self) -> bool:
+        """Whether splices happened since the last :meth:`drain_dirty_spans`."""
+        return bool(self._dirty_slot_ranges) or bool(self._dirty_route_ranges)
+
+    def drain_dirty_spans(
+        self,
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Merged ``(slot_ranges, flat_route_ranges)`` since the last drain.
+
+        Clears the pending sets; the shared-memory writer calls this under
+        its seqlock to copy exactly the spliced regions.
+        """
+        slot_ranges = _merge_ranges(self._dirty_slot_ranges)
+        route_ranges = _merge_ranges(self._dirty_route_ranges)
+        self._dirty_slot_ranges = []
+        self._dirty_route_ranges = []
+        return slot_ranges, route_ranges
+
+    def repack_tree(self, index: int) -> None:
+        """Splice every stale maintenance span of one tree.
+
+        Compatibility surface of the pre-span whole-tree re-emit: callers
+        that only know "something in tree ``index`` switched" (manual
+        ``active_index`` pokes, the object-path unlearner) get every span
+        whose emitted variant drifted from the live one re-spliced. Outer
+        spans are spliced before inner ones (ascending root slot) so a
+        nested stale node that survives inside the new outer variant is
+        materialised correctly before its own check runs.
+        """
+        if not 0 <= index < len(self._roots):
+            raise IndexError(f"tree index {index} out of range")
+        stale = [
+            info
+            for info in self._spans.values()
+            if info.tree == index
+            and info.emitted_index != info.node.active_index
+        ]
+        stale.sort(key=lambda info: info.root_slot)
+        for info in stale:
+            if (
+                self._spans.get(id(info.node)) is info
+                and info.emitted_index != info.node.active_index
+            ):
+                self._splice(info)
 
     def arrays(self) -> PackedArrays:
         """The current flat arrays as a :class:`PackedArrays` view.
 
-        The view aliases the live arrays (no copy); it goes stale on the
-        next reassembly, so callers should re-take it per operation.
+        The view aliases the live arrays (no copy). Geometry is fixed for
+        the pack's lifetime, so the view stays valid across splices; it
+        only goes stale if the pack itself is rebuilt (unpickle).
         """
         return PackedArrays(
             feature=self.feature,
@@ -404,15 +796,16 @@ class PackedEnsemble:
     def leaf_index(self) -> dict[int, int]:
         """``id(leaf) -> leaf row`` for the currently packed (active) leaves.
 
-        Rebuilt on every reassembly; the scalar unlearning fast path uses
-        it to sync a record's mutated leaves in one post-walk loop instead
-        of per-leaf :meth:`sync_leaf` calls inside the traversal.
+        Maintained incrementally across splices (only the affected span's
+        entries change); the scalar unlearning fast path uses it to sync a
+        record's mutated leaves in one post-walk loop instead of per-leaf
+        :meth:`sync_leaf` calls inside the traversal.
         """
         return self._leaf_index
 
     @property
     def n_trees(self) -> int:
-        return len(self._segments)
+        return len(self._roots)
 
     @property
     def n_slots(self) -> int:
@@ -427,26 +820,12 @@ class PackedEnsemble:
 
         Leaves of inactive maintenance variants are not part of the pack;
         their updates are no-ops here and get picked up by
-        :meth:`repack_tree` if their variant ever becomes active.
+        :meth:`splice_subtree` if their variant ever becomes active.
         """
         index = self._leaf_index.get(id(leaf))
         if index is not None:
             self.leaf_n[index] = leaf.n
             self.leaf_n_plus[index] = leaf.n_plus
-
-    def repack_tree(self, index: int) -> None:
-        """Re-emit one tree's slot range after a variant switch.
-
-        Only the affected tree is walked again; the other segments are
-        spliced back unchanged (their relative offsets are shifted
-        vectorised during reassembly). The unlearn pack is left alone: it
-        covers *every* variant, so a switch only changes ``active_index``,
-        which its kernel reads live from the node objects.
-        """
-        if not 0 <= index < len(self._segments):
-            raise IndexError(f"tree index {index} out of range")
-        self._segments[index] = _emit_segment(self._roots[index], self._width)
-        self._assemble()
 
     # ------------------------------------------------------------------ #
     # batch-unlearning companion pack
@@ -479,8 +858,9 @@ class PackedEnsemble:
             self._unlearn_pack.mark_stale()
 
     # ------------------------------------------------------------------ #
-    # deep copy / pickling: the id()-keyed leaf index must be rebuilt
-    # against the copied Leaf objects, so only the segments travel.
+    # deep copy / pickling: the id()-keyed leaf index and span registry
+    # must be rebuilt against the copied node objects, so only the tree
+    # roots travel and the copy re-runs the (deterministic) build.
     # ------------------------------------------------------------------ #
 
     def __getstate__(self) -> dict:
@@ -497,17 +877,14 @@ class PackedEnsemble:
             "roots": self._roots,
             "width": self._width,
             "chunk_rows": self._chunk_rows,
-            "segments": self._segments,
         }
 
     def __setstate__(self, state: dict) -> None:
         self._roots = state["roots"]
         self._width = state["width"]
         self._chunk_rows = state["chunk_rows"]
-        self._segments = state["segments"]
         self._unlearn_pack = None
-        self.epoch = -1
-        self._assemble()
+        self._build()
 
     # ------------------------------------------------------------------ #
     # traversal kernel

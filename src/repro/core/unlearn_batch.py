@@ -82,13 +82,18 @@ class BatchUnlearnResult:
         report: aggregated counters, merge-identical to running the scalar
             loop over the same records in the same order.
         switched_trees: sorted tree indices whose *final* active variant
-            differs from the pre-batch one -- exactly the trees the caller
-            must repack (transient mid-batch switches that settle back do
-            not route differently afterwards).
+            differs from the pre-batch one -- exactly the trees whose
+            compiled form the caller must invalidate (transient mid-batch
+            switches that settle back do not route differently afterwards).
+        switched_nodes: the :class:`MaintenanceNode` objects behind those
+            switches; the caller hands each to
+            ``PackedEnsemble.splice_subtree`` for an in-place span rewrite
+            instead of a whole-tree repack.
     """
 
     report: UnlearningReport
     switched_trees: tuple[int, ...]
+    switched_nodes: tuple = ()
 
 
 class UnlearnPack:
@@ -583,6 +588,7 @@ def unlearn_batch_packed(
     # ---------------------------------------------------------------- #
     variant_switches = 0
     switched_trees: set[int] = set()
+    switched_nodes: list = []
     final_scores: list[tuple[int, int, np.ndarray]] = []
     visit_mnodes = _concat(visit_mnode_chunks, np.intp)
     visit_recs = _concat(visit_rec_chunks, np.intp)
@@ -681,9 +687,9 @@ def unlearn_batch_packed(
         variant_switches = int(np.count_nonzero(best != previous))
         final_best = best[group_ends - 1]
         final_gains = gains[group_ends - 1]
-        switched_trees = set(
-            pack.mnode_tree[unique_mnodes[final_best != active0]].tolist()
-        )
+        switched_ids = unique_mnodes[final_best != active0]
+        switched_trees = set(pack.mnode_tree[switched_ids].tolist())
+        switched_nodes = [pack.mnodes[int(m)] for m in switched_ids.tolist()]
         final_scores = [
             (int(mnode_id), int(final_best[index]), final_gains[index])
             for index, mnode_id in enumerate(unique_mnodes.tolist())
@@ -753,6 +759,10 @@ def unlearn_batch_packed(
             flushed = flush_deferred(pack, node_ids=tripped)
             variant_switches += flushed.variant_switches
             switched_trees.update(flushed.switched_trees)
+            switched_nodes.extend(
+                node for node in flushed.switched_nodes
+                if not any(node is seen for seen in switched_nodes)
+            )
 
     report = UnlearningReport(
         leaves_updated=int(leaf_rows.shape[0]),
@@ -762,5 +772,7 @@ def unlearn_batch_packed(
         random_nodes_visited=random_visits,
     )
     return BatchUnlearnResult(
-        report=report, switched_trees=tuple(sorted(switched_trees))
+        report=report,
+        switched_trees=tuple(sorted(switched_trees)),
+        switched_nodes=tuple(switched_nodes),
     )

@@ -397,6 +397,7 @@ def unlearn_one_packed(
 
     variant_switches = 0
     switched: list[int] = []
+    switched_nodes: list = []
     variant_rows = 0
     fan_lens = pack.scalar_fan_lens
     if deferred:
@@ -411,6 +412,7 @@ def unlearn_one_packed(
             if _rescore_fast(mnodes[mnode_id]):
                 variant_switches += 1
                 switched.append(int(mnode_tree[mnode_id]))
+                switched_nodes.append(mnodes[mnode_id])
     # The mirror write-through runs in BOTH modes: it is a handful of
     # fancy-indexed scalar adds, and keeping the count mirrors current
     # means a later flush never has to regather them from the objects
@@ -427,6 +429,7 @@ def unlearn_one_packed(
         if flushed is not None:
             variant_switches += flushed.variant_switches
             switched.extend(flushed.switched_trees)
+            switched_nodes.extend(flushed.switched_nodes)
 
     report = UnlearningReport(
         leaves_updated=len(leaf_ids),
@@ -438,6 +441,7 @@ def unlearn_one_packed(
     return BatchUnlearnResult(
         report=report,
         switched_trees=tuple(sorted(set(switched))) if switched else (),
+        switched_nodes=tuple(switched_nodes),
     )
 
 
@@ -570,6 +574,11 @@ def unlearn_small_batch(
         for mnode_id, active0 in pre_batch_active.items()
         if pack.mnodes[mnode_id].active_index != active0
     }
+    switched_nodes = [
+        pack.mnodes[mnode_id]
+        for mnode_id, active0 in pre_batch_active.items()
+        if pack.mnodes[mnode_id].active_index != active0
+    ]
     if deferred:
         flushed = _budget_trip(
             pack, pack.pending_mnode[pending_visits0:], maintenance_budget
@@ -577,8 +586,11 @@ def unlearn_small_batch(
         if flushed is not None:
             report.variant_switches += flushed.variant_switches
             switched_trees.update(flushed.switched_trees)
+            switched_nodes.extend(flushed.switched_nodes)
     return BatchUnlearnResult(
-        report=report, switched_trees=tuple(sorted(switched_trees))
+        report=report,
+        switched_trees=tuple(sorted(switched_trees)),
+        switched_nodes=tuple(switched_nodes),
     )
 
 
@@ -710,6 +722,7 @@ def learn_one_packed(
 
     variant_switches = 0
     switched: list[int] = []
+    switched_nodes: list = []
     variant_rows = 0
     fan_lens = pack.scalar_fan_lens
     if deferred:
@@ -724,6 +737,7 @@ def learn_one_packed(
             if _rescore_fast(mnodes[mnode_id]):
                 variant_switches += 1
                 switched.append(int(mnode_tree[mnode_id]))
+                switched_nodes.append(mnodes[mnode_id])
     # Mirrors stay current in both modes (see unlearn_one_packed).
     _write_through(pack, positive, stat_rows, stat_rows_left, leaf_ids, sign=1)
     if read_pack is not None:
@@ -737,6 +751,7 @@ def learn_one_packed(
         if flushed is not None:
             variant_switches += flushed.variant_switches
             switched.extend(flushed.switched_trees)
+            switched_nodes.extend(flushed.switched_nodes)
 
     report = UnlearningReport(
         leaves_updated=len(leaf_ids),
@@ -748,4 +763,5 @@ def learn_one_packed(
     return BatchUnlearnResult(
         report=report,
         switched_trees=tuple(sorted(set(switched))) if switched else (),
+        switched_nodes=tuple(switched_nodes),
     )

@@ -27,8 +27,12 @@ Two kinds of POSIX segments per deployment, all named under one base:
     ensemble arrays back to back: ``feature``, ``payload``, ``right``,
     ``tree_roots``, ``leaf_n``, ``leaf_n_plus`` as ``int64`` and
     ``route_flat`` as ``bool`` (last, so every int64 block stays 8-byte
-    aligned). Within a generation the five structural arrays are
-    **immutable**; only the two leaf arrays are rewritten in place.
+    aligned). Within a generation the array *geometry* is immutable; leaf
+    values are rewritten in place on every publish, and a maintenance
+    variant switch rewrites only the switched node's reserved span
+    (slot + route ranges) in place under the seqlock -- a **span-delta
+    publish**. A new generation is cut only for genuinely
+    geometry-changing events (snapshot restore, rebuild).
 
 Seqlock publish protocol
 ------------------------
@@ -51,14 +55,21 @@ lock to hold, only a version to re-check.
 Two properties make optimistic reads crash-safe rather than merely
 eventually-consistent:
 
-* *Structural immutability per generation.* A repack (maintenance-variant
-  switch) never rewrites routing arrays in place; it creates a **new**
-  generation segment, publishes the switch through the header, then
-  unlinks the old segment. A reader mid-traversal on the old generation
-  keeps a valid private mapping (POSIX keeps unlinked segments alive until
-  the last detach), finishes, fails the version check, re-attaches, and
-  retries. Torn reads can therefore tear leaf *values* (caught by the
-  version check) but never produce out-of-range slot indices.
+* *Geometry immutability per generation plus safe span contents.* The
+  reserved-span pack (:mod:`repro.core.packed`) fixes the array sizes for
+  the model's lifetime, so a variant switch rewrites only the switched
+  node's reserved span in place. Both the old and the new span contents
+  keep every index in range (padding slots are safe leaves) and every
+  child pointer strictly above its parent, so a reader that races the
+  memcpy walks only in-range slots; in the worst torn interleaving the
+  walk trips the kernel's slot-budget bound or gathers past a leaf array
+  (:class:`~repro.core.packed.TornTraversalError` / ``IndexError``), both
+  of which the reader treats exactly like a seqlock conflict and retries.
+  Genuinely geometry-changing events (snapshot restore, rebuild) still cut
+  a **new** generation segment and unlink the old one; a reader
+  mid-traversal keeps a valid private mapping (POSIX keeps unlinked
+  segments alive until the last detach), finishes, fails the version
+  check, re-attaches, and retries.
 * *Aligned 8-byte stores.* Header words and leaf counters are aligned
   ``int64`` slots; on the platforms this targets (x86-64, aarch64) an
   aligned 8-byte store is a single atomic store at the hardware level.
@@ -292,6 +303,14 @@ class SharedPackedEnsemble:
         self.views: PackedArrays | None = None
         self._epoch = None
         self._closed = False
+        #: Span-delta accounting: cumulative bytes memcpy'd by span
+        #: publishes, the last span publish's bytes, how many ran, and the
+        #: structural bytes a full generation copy would have rewritten
+        #: (the denominator of the >= 10x reduction bar in bench_serving).
+        self.structural_bytes_published = 0
+        self.last_structural_bytes = 0
+        self.span_publishes = 0
+        self.generation_structural_bytes = 0
         self._publish_structure(packed, wal_seq)
 
     # ------------------------------------------------------------------ #
@@ -326,17 +345,44 @@ class SharedPackedEnsemble:
     def publish(self, packed: PackedEnsemble, wal_seq: int) -> str:
         """Make the pack's current state visible to the reader fleet.
 
-        Chooses the cheapest sufficient publish: when the pack's structural
-        epoch is unchanged since the last publish (the common case -- leaf
-        decrements only), just the two leaf arrays are rewritten in place
-        under the seqlock; a repack (variant switch) triggers a full
-        structural publish into a fresh generation segment. Returns which
-        kind ran (``"leaves"`` or ``"structure"``).
+        Chooses the cheapest sufficient publish:
+
+        * ``"leaves"`` -- epoch unchanged, no splices pending: only the two
+          leaf arrays are rewritten in place under the seqlock (the common
+          case, leaf decrements only).
+        * ``"spans"`` -- epoch unchanged but variant switches spliced
+          reserved spans since the last publish: the touched slot and
+          route ranges are memcpy'd in place under the seqlock (plus the
+          leaf arrays), **no** new generation segment -- geometry is fixed,
+          so readers keep their mappings and at most retry a torn read.
+        * ``"structure"`` -- the pack's structural epoch changed (rebuild,
+          snapshot restore): full copy into a fresh generation segment.
         """
         if packed.epoch != self._epoch:
             self._publish_structure(packed, wal_seq)
             return "structure"
         assert self.views is not None
+        if packed.has_dirty_spans:
+            slot_ranges, route_ranges = packed.drain_dirty_spans()
+            views = self.views
+            span_bytes = 0
+            self._begin()
+            for lo, hi in slot_ranges:
+                views.feature[lo:hi] = packed.feature[lo:hi]
+                views.payload[lo:hi] = packed.payload[lo:hi]
+                views.right[lo:hi] = packed.right[lo:hi]
+                span_bytes += (hi - lo) * 8 * 3
+            for lo, hi in route_ranges:
+                views.route_flat[lo:hi] = packed.route_flat[lo:hi]
+                span_bytes += hi - lo
+            views.leaf_n[:] = packed.leaf_n
+            views.leaf_n_plus[:] = packed.leaf_n_plus
+            self._header[HDR_WAL_SEQ] = wal_seq
+            self._commit()
+            self.structural_bytes_published += span_bytes
+            self.last_structural_bytes = span_bytes
+            self.span_publishes += 1
+            return "spans"
         self._begin()
         self.views.leaf_n[:] = packed.leaf_n
         self.views.leaf_n_plus[:] = packed.leaf_n_plus
@@ -345,6 +391,8 @@ class SharedPackedEnsemble:
         return "leaves"
 
     def _publish_structure(self, packed: PackedEnsemble, wal_seq: int) -> None:
+        # Any pending span deltas are superseded by the full copy.
+        packed.drain_dirty_spans()
         source = packed.arrays()
         layout = _DataLayout(
             n_slots=int(source.feature.shape[0]),
@@ -380,6 +428,12 @@ class SharedPackedEnsemble:
         self.views = views
         self._generation = generation
         self._epoch = packed.epoch
+        # What a generation copy rewrites structurally (leaf arrays
+        # excluded: span publishes copy those too, so they cancel out of
+        # the span-vs-generation comparison).
+        self.generation_structural_bytes = (
+            3 * layout.n_slots + layout.n_trees
+        ) * 8 + layout.route_len
         if old is not None:
             # Readers still traversing the previous generation keep their
             # private mappings alive; unlinking only removes the name.
@@ -537,6 +591,15 @@ class SharedEnsembleReader:
                     # sizes changed) between our header reads and the
                     # attach. Retry re-reads a consistent pair.
                     self._generation = -1
+                except (IndexError, packed_kernel.TornTraversalError):
+                    # Torn *span* view: a concurrent in-place splice mixed
+                    # old and new span contents under our feet. The walk
+                    # either tripped its slot budget or gathered an
+                    # out-of-range index; the seqlock must have moved, so
+                    # fall through and retry. (With a stable seqlock this
+                    # cannot happen on a consistent pack; the bounded retry
+                    # loop still surfaces TornReadError if it somehow does.)
+                    pass
             retries += 1
             if retries > self.max_retries:
                 raise TornReadError(

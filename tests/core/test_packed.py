@@ -114,7 +114,13 @@ class TestStructure:
     def test_leaf_payloads_cover_leaf_arrays(self, fitted_model_session):
         packed = fitted_model_session.packed
         leaf_payloads = packed.payload[packed.feature == LEAF_MARKER]
-        assert sorted(leaf_payloads.tolist()) == list(range(packed.n_leaves))
+        # Every leaf slot (live or reserved-span padding) must point at a
+        # valid leaf row, and the live leaves must occupy distinct rows.
+        assert (leaf_payloads >= 0).all()
+        assert (leaf_payloads < packed.n_leaves).all()
+        live_rows = sorted(packed.leaf_index.values())
+        assert len(live_rows) == len(set(live_rows))
+        assert set(live_rows) <= set(leaf_payloads.tolist())
 
     def test_rejects_empty_ensemble_and_bad_chunking(self, fitted_model_session):
         with pytest.raises(ValueError):
@@ -144,9 +150,11 @@ class TestUnlearningMaintenance:
         before_total = int(fitted_model.packed.leaf_n.sum())
         fitted_model.unlearn(train.record(0), allow_budget_overrun=True)
         # Whether the deletion only decremented leaves (write-through) or
-        # also switched a variant (single-tree repack), the flat arrays
-        # must mirror the live leaf objects exactly.
-        live_total = sum(leaf.n for leaf in fitted_model.packed._leaf_objects)
+        # also switched a variant (in-place span splice), the flat arrays
+        # must mirror the live leaf objects exactly (padded rows are zero).
+        live_total = sum(
+            leaf.n for leaf in fitted_model.packed._leaf_objects if leaf is not None
+        )
         assert int(fitted_model.packed.leaf_n.sum()) == live_total
         assert int(fitted_model.packed.leaf_n.sum()) <= before_total
 

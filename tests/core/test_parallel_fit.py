@@ -34,6 +34,43 @@ class TestParallelTraining:
         report = model.unlearn(dataset.record(0))
         assert report.leaves_updated >= 2
 
+    def test_single_core_degrades_to_sequential(self, monkeypatch):
+        """On a one-core machine a pool only adds spawn + dataset-copy
+        overhead: ``n_jobs > 1`` must silently take the sequential path
+        (and still train the identical model)."""
+        import concurrent.futures
+
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor must not be spawned")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        import repro.core.ensemble as ensemble_module
+
+        monkeypatch.setattr(ensemble_module.os, "cpu_count", lambda: 1)
+        dataset = make_random_dataset(n_rows=200, seed=61)
+        degraded = HedgeCutClassifier(n_trees=4, seed=61, n_jobs=4).fit(dataset)
+        sequential = HedgeCutClassifier(n_trees=4, seed=61).fit(dataset)
+        assert np.array_equal(
+            degraded.predict_batch(dataset), sequential.predict_batch(dataset)
+        )
+
+    def test_single_tree_never_pays_for_a_pool(self, monkeypatch):
+        """Effective parallelism is capped by the tree count: one tree
+        with many jobs must not spawn workers either."""
+        import concurrent.futures
+
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor must not be spawned")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        dataset = make_random_dataset(n_rows=200, seed=61)
+        model = HedgeCutClassifier(n_trees=1, seed=61, n_jobs=8).fit(dataset)
+        assert model.is_fitted
+
     def test_save_load_preserves_n_jobs(self, tmp_path):
         dataset = make_random_dataset(n_rows=200, seed=63)
         model = HedgeCutClassifier(n_trees=2, seed=63, n_jobs=2).fit(dataset)

@@ -88,18 +88,61 @@ class TestSharedRoundtrip:
                     model.packed.predict_proba_rows(matrix),
                 )
 
-    def test_structural_publish_bumps_generation(self, model, dataset, segment_name):
-        with SharedPackedEnsemble(segment_name, model.packed) as shared:
+    def test_variant_switch_publishes_span_delta(self, model, dataset, segment_name):
+        # A variant switch splices in place: the publish copies only the
+        # dirty spans, cuts NO new generation, and the attached reader sees
+        # the new structure bit-identically without re-mapping segments.
+        packed = model.packed
+        info = next(
+            (
+                span
+                for span in packed._spans.values()
+                if len(span.node.variants) > 1
+            ),
+            None,
+        )
+        if info is None:
+            pytest.skip("model has no multi-variant maintenance node")
+        node = info.node
+        with SharedPackedEnsemble(segment_name, packed) as shared:
             with SharedEnsembleReader(segment_name) as reader:
                 matrix = dataset.feature_matrix()
                 reader.predict_rows(matrix)
                 assert reader.generation == 0
-                model.packed.repack_tree(0)  # bumps the structural epoch
-                assert shared.publish(model.packed, wal_seq=1) == "structure"
+                node.active_index = (node.active_index + 1) % len(node.variants)
+                assert packed.splice_subtree(node) == info.tree
+                assert shared.publish(packed, wal_seq=1) == "spans"
+                assert shared.generation == 0  # geometry unchanged
+                assert shared.span_publishes == 1
+                assert 0 < shared.last_structural_bytes
+                assert (
+                    shared.last_structural_bytes
+                    < shared.generation_structural_bytes
+                )
+                assert reader.wal_seq == 1
+                assert np.array_equal(
+                    reader.predict_proba_rows(matrix),
+                    packed.predict_proba_rows(matrix),
+                )
+                assert reader.generation == 0
+                assert reader.stats.generation_switches == 1  # initial only
+
+    def test_rebuild_cuts_new_generation(self, model, dataset, segment_name):
+        # A genuinely geometry-changing event (here: a snapshot-restore
+        # style rebuild via pickle) still goes through the full structural
+        # path: new epoch, new generation segments.
+        import pickle
+
+        with SharedPackedEnsemble(segment_name, model.packed) as shared:
+            with SharedEnsembleReader(segment_name) as reader:
+                matrix = dataset.feature_matrix()
+                reader.predict_rows(matrix)
+                rebuilt = pickle.loads(pickle.dumps(model.packed))
+                assert shared.publish(rebuilt, wal_seq=1) == "structure"
                 assert shared.generation == 1
                 assert np.array_equal(
                     reader.predict_proba_rows(matrix),
-                    model.packed.predict_proba_rows(matrix),
+                    rebuilt.predict_proba_rows(matrix),
                 )
                 assert reader.generation == 1
                 assert reader.stats.generation_switches == 2  # initial + bump
